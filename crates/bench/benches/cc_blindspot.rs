@@ -1,0 +1,70 @@
+//! §3.1 ablation: why the congestion controller cannot react.
+//!
+//! The paper's arithmetic: a ~1 MiB NIC input buffer drains in < 90 µs
+//! whenever the NIC-to-memory path still moves ≥ 88.8 Gbps, which is below
+//! Swift's 100 µs host-delay target — so the buffer overflows while the
+//! controller still sees an acceptable host delay. This harness sweeps the
+//! host-delay target at a congested operating point (14 receiver cores,
+//! IOMMU on) and shows that simply lowering the target does not eliminate
+//! host drops (§4: in-flight bytes of many senders exceed the buffer even
+//! at small windows), while a larger NIC buffer does move the signal above
+//! the target.
+
+use hostcc::experiment::sweep;
+use hostcc::report::{f, pct, Table};
+use hostcc::scenarios;
+use hostcc_bench::{emit, plan, quick};
+
+fn main() {
+    let cores = 14;
+    let targets: Vec<u64> = if quick() {
+        vec![25, 100]
+    } else {
+        vec![25, 50, 75, 100, 150, 200]
+    };
+    let mut points = Vec::new();
+    for &t in &targets {
+        points.push(((t, "1MiB buffer"), scenarios::cc_blindspot(cores, t)));
+    }
+    // The §4 buffer ablation at the default target.
+    points.push((
+        (100, "4MiB buffer"),
+        scenarios::with_nic_buffer(scenarios::cc_blindspot(cores, 100), 4 << 20),
+    ));
+    let results = sweep(points, plan());
+
+    let mut table = Table::new([
+        "host_target_us",
+        "variant",
+        "tp_gbps",
+        "drop_rate",
+        "hostdelay_p50_us",
+        "hostdelay_p99_us",
+        "nic_buffer_peak_KiB",
+    ]);
+    for p in &results {
+        let (target, variant) = p.label;
+        let m = &p.metrics;
+        table.row([
+            target.to_string(),
+            variant.to_string(),
+            f(m.app_throughput_gbps(), 2),
+            pct(m.drop_rate()),
+            f(m.host_delay_p50_us(), 1),
+            f(m.host_delay_p99_us(), 1),
+            (m.nic_buffer_peak_bytes / 1024).to_string(),
+        ]);
+    }
+    emit(
+        "cc_blindspot",
+        "§3.1/§4 — Swift host-delay target sweep at a host-congested operating point",
+        &table,
+    );
+
+    println!(
+        "paper claim: at the 100 us target the NIC buffer (sub-90 us of drain) overflows \
+         before the signal trips; lowering the target alone cannot zero the drops because \
+         the aggregate in-flight bytes of 480 flows exceed the buffer within one RTT; a \
+         larger buffer raises the drain time above the target and restores the signal"
+    );
+}

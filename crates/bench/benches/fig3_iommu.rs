@@ -1,0 +1,67 @@
+//! Figure 3: IOMMU-induced host congestion.
+//!
+//! Three panels vs. receiver cores (2–16), IOMMU ON vs OFF:
+//!   (left)   application throughput, with the paper's analytical model
+//!            overlaid for the credit-bottlenecked regime;
+//!   (centre) packet drop rate;
+//!   (right)  IOTLB misses per packet.
+
+use hostcc::experiment::sweep;
+use hostcc::model::ThroughputModel;
+use hostcc::report::{f, pct, Table};
+use hostcc::scenarios;
+use hostcc_bench::{core_axis, emit, plan};
+
+fn main() {
+    let axis = core_axis();
+    let mut points = Vec::new();
+    for &cores in &axis {
+        for on in [true, false] {
+            points.push(((cores, on), scenarios::fig3(cores, on)));
+        }
+    }
+    let results = sweep(points, plan());
+
+    let mut table = Table::new([
+        "cores",
+        "iommu",
+        "tp_gbps",
+        "modeled_tp_gbps",
+        "drop_rate",
+        "iotlb_miss_per_pkt",
+        "hostdelay_p50_us",
+        "hostdelay_p99_us",
+    ]);
+    for p in &results {
+        let (cores, on) = p.label;
+        let m = &p.metrics;
+        // The paper overlays the model only where PCIe credits bind
+        // (threads >= 10); below that we print the ceiling.
+        let modeled = if on {
+            let model = ThroughputModel::from_config(&scenarios::fig3(cores, true));
+            f(model.app_throughput_gbps(m.iotlb_misses_per_packet()), 2)
+        } else {
+            "-".to_string()
+        };
+        table.row([
+            cores.to_string(),
+            if on { "ON" } else { "OFF" }.to_string(),
+            f(m.app_throughput_gbps(), 2),
+            modeled,
+            pct(m.drop_rate()),
+            f(m.iotlb_misses_per_packet(), 2),
+            f(m.host_delay_p50_us(), 1),
+            f(m.host_delay_p99_us(), 1),
+        ]);
+    }
+    emit(
+        "fig3_iommu",
+        "Figure 3 — throughput / drops / IOTLB misses vs receiver cores (IOMMU ON vs OFF)",
+        &table,
+    );
+
+    println!(
+        "paper shape: OFF flat at ~92 Gbps beyond 8 cores; ON degrades beyond ~8-10 cores \
+         (to ~78-80 Gbps at 16) with misses/pkt rising to ~2.5-3 and drops of up to ~3%"
+    );
+}

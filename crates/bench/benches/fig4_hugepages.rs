@@ -1,0 +1,59 @@
+//! Figure 4: disabling hugepages worsens IOMMU contention.
+//!
+//! Same axes as Fig. 3, hugepages enabled (2 MiB mappings) vs disabled
+//! (4 KiB mappings), IOMMU always on. The paper reports: the interconnect
+//! bottleneck arrives at fewer threads (knee ~6), throughput degrades by
+//! more than 30% (to ~60 Gbps), and misses/packet reach ~6 — because the
+//! registered page count grows 512×, each payload DMA touches two pages,
+//! and every walk is one level deeper.
+
+use hostcc::experiment::sweep;
+use hostcc::report::{f, pct, Table};
+use hostcc::scenarios;
+use hostcc_bench::{core_axis, emit, plan};
+
+fn main() {
+    let axis = core_axis();
+    let mut points = Vec::new();
+    for &cores in &axis {
+        for hugepages in [true, false] {
+            points.push(((cores, hugepages), scenarios::fig4(cores, hugepages)));
+        }
+    }
+    let results = sweep(points, plan());
+
+    let mut table = Table::new([
+        "cores",
+        "hugepages",
+        "tp_gbps",
+        "drop_rate",
+        "iotlb_miss_per_pkt",
+        "walk_accesses_per_pkt",
+    ]);
+    for p in &results {
+        let (cores, hp) = p.label;
+        let m = &p.metrics;
+        table.row([
+            cores.to_string(),
+            if hp { "2M" } else { "4K" }.to_string(),
+            f(m.app_throughput_gbps(), 2),
+            pct(m.drop_rate()),
+            f(m.iotlb_misses_per_packet(), 2),
+            f(
+                m.walk_memory_accesses as f64 / m.delivered_packets.max(1) as f64,
+                2,
+            ),
+        ]);
+    }
+    emit(
+        "fig4_hugepages",
+        "Figure 4 — hugepages enabled (2M) vs disabled (4K), IOMMU on",
+        &table,
+    );
+
+    println!(
+        "paper shape: 4K pages shift the knee to ~6 cores, push misses/pkt toward ~6, \
+         and cost >30% of throughput (toward ~60 Gbps); drops stay nonzero but lower \
+         than the hugepage case at high core counts because CC engages earlier"
+    );
+}

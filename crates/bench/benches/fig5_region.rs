@@ -1,0 +1,53 @@
+//! Figure 5: provisioning for larger BDPs worsens IOMMU contention.
+//!
+//! Throughput / drop rate / IOTLB misses vs. the per-thread Rx memory
+//! region size (4–16 MiB) at 12 receiver cores, IOMMU ON vs OFF. Larger
+//! regions pin more pages per thread, so the same number of concurrent
+//! requests touches more IOTLB entries.
+
+use hostcc::experiment::sweep;
+use hostcc::report::{f, pct, Table};
+use hostcc::scenarios;
+use hostcc_bench::{emit, plan, region_axis};
+
+fn main() {
+    let mut points = Vec::new();
+    for &mib in &region_axis() {
+        for on in [true, false] {
+            points.push(((mib, on), scenarios::fig5(mib, on)));
+        }
+    }
+    let results = sweep(points, plan());
+
+    let mut table = Table::new([
+        "region_mib",
+        "iommu",
+        "tp_gbps",
+        "drop_rate",
+        "iotlb_miss_per_pkt",
+        "hostdelay_p99_us",
+    ]);
+    for p in &results {
+        let (mib, on) = p.label;
+        let m = &p.metrics;
+        table.row([
+            mib.to_string(),
+            if on { "ON" } else { "OFF" }.to_string(),
+            f(m.app_throughput_gbps(), 2),
+            pct(m.drop_rate()),
+            f(m.iotlb_misses_per_packet(), 2),
+            f(m.host_delay_p99_us(), 1),
+        ]);
+    }
+    emit(
+        "fig5_region",
+        "Figure 5 — throughput / drops / IOTLB misses vs Rx region size (12 cores)",
+        &table,
+    );
+
+    println!(
+        "paper shape: IOMMU OFF flat at ~92 Gbps; IOMMU ON degrades as the region grows \
+         (misses/pkt ~0.5 -> ~2), with drop rate relieved at 16 MiB because host delay \
+         finally exceeds the CC target (98.7 us at 12 MiB -> 110.5 us at 16 MiB)"
+    );
+}

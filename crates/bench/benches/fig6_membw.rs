@@ -1,0 +1,55 @@
+//! Figure 6: memory-bus-induced host congestion.
+//!
+//! Throughput, total memory bandwidth and drop rate vs. the number of
+//! STREAM antagonist cores (0–15) at 12 receiver threads, IOMMU OFF
+//! (left panels) and ON (centre panels).
+
+use hostcc::experiment::sweep;
+use hostcc::report::{f, pct, Table};
+use hostcc::scenarios;
+use hostcc_bench::{antagonist_axis, emit, plan};
+
+fn main() {
+    let mut points = Vec::new();
+    for &cores in &antagonist_axis() {
+        for on in [false, true] {
+            points.push(((cores, on), scenarios::fig6(cores, on)));
+        }
+    }
+    let results = sweep(points, plan());
+
+    let mut table = Table::new([
+        "antagonist_cores",
+        "iommu",
+        "tp_gbps",
+        "mem_bw_gbytes",
+        "drop_rate",
+        "iotlb_miss_per_pkt",
+        "hostdelay_p50_us",
+    ]);
+    for p in &results {
+        let (cores, on) = p.label;
+        let m = &p.metrics;
+        table.row([
+            cores.to_string(),
+            if on { "ON" } else { "OFF" }.to_string(),
+            f(m.app_throughput_gbps(), 2),
+            f(m.memory_bandwidth_gbytes(), 1),
+            pct(m.drop_rate()),
+            f(m.iotlb_misses_per_packet(), 2),
+            f(m.host_delay_p50_us(), 1),
+        ]);
+    }
+    emit(
+        "fig6_membw",
+        "Figure 6 — throughput / memory bandwidth / drops vs STREAM antagonist cores (12 threads)",
+        &table,
+    );
+
+    println!(
+        "paper shape: IOMMU OFF stays flat until ~8-10 antagonist cores then loses ~15%; \
+         IOMMU ON starts lower (~80) and degrades from ~6 cores to ~60 Gbps at 15; \
+         total memory bandwidth saturates near ~90 GB/s; drops happen far below \
+         line-rate utilisation — the low-utilisation drop regime of Fig. 1"
+    );
+}

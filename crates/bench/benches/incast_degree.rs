@@ -1,0 +1,64 @@
+//! §4's footnote-5 argument, swept: "Even if we assume a 20 µs RTT and
+//! 100G line rate, in-flight packets for just 8 concurrent senders can
+//! exceed [the] 1 MB threshold." The number of concurrent senders sets a
+//! floor on aggregate in-flight bytes (each flow needs at least a minimal
+//! window to make progress), so once `senders × threads × min-window`
+//! rivals the NIC buffer, no per-flow target can keep the buffer safe.
+//!
+//! This harness sweeps the incast degree at the IOTLB-bound operating
+//! point and reports drops and buffer pressure.
+
+use hostcc::experiment::sweep;
+use hostcc::report::{f, pct, Table};
+use hostcc::scenarios;
+use hostcc_bench::{emit, plan, quick};
+
+fn main() {
+    let degrees: Vec<u32> = if quick() {
+        vec![8, 40, 80]
+    } else {
+        vec![4, 8, 16, 24, 40, 64, 96, 128]
+    };
+    let mut points = Vec::new();
+    for &senders in &degrees {
+        let mut cfg = scenarios::fig3(14, true);
+        cfg.senders = senders;
+        points.push((senders, cfg));
+    }
+    let results = sweep(points, plan());
+
+    let mut table = Table::new([
+        "senders",
+        "flows",
+        "tp_gbps",
+        "drop_rate",
+        "mean_cwnd",
+        "nic_buffer_peak_KiB",
+        "hostdelay_p50_us",
+    ]);
+    for p in &results {
+        let m = &p.metrics;
+        table.row([
+            p.label.to_string(),
+            (p.label * 14).to_string(),
+            f(m.app_throughput_gbps(), 2),
+            pct(m.drop_rate()),
+            f(m.mean_cwnd, 2),
+            (m.nic_buffer_peak_bytes / 1024).to_string(),
+            f(m.host_delay_p50_us(), 1),
+        ]);
+    }
+    emit(
+        "incast_degree",
+        "§4 — incast degree vs host drops at a congested point (14 cores, IOMMU on)",
+        &table,
+    );
+
+    println!(
+        "reading guide: as the incast widens, per-flow windows shrink toward the \
+         pacing regime but the aggregate in-flight floor grows; beyond a modest \
+         degree the NIC buffer rides near capacity regardless of how small \
+         individual windows get — why §4 argues per-flow rate reduction cannot be \
+         the whole answer."
+    );
+}

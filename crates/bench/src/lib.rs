@@ -1,0 +1,89 @@
+//! Shared harness plumbing for the figure-regeneration benches.
+//!
+//! Every `benches/fig*.rs` target is a plain binary (`harness = false`)
+//! that sweeps the paper's parameter axis, prints the same series the
+//! paper plots (plus the paper's approximate values for comparison), and
+//! writes a CSV next to the target directory.
+//!
+//! Set `HOSTCC_QUICK=1` to run abbreviated sweeps (CI smoke mode).
+
+use hostcc::experiment::RunPlan;
+use hostcc::report::Table;
+use hostcc_sim::SimDuration;
+use std::path::PathBuf;
+
+/// Resolve the run plan: full-resolution by default, quick under
+/// `HOSTCC_QUICK=1`.
+pub fn plan() -> RunPlan {
+    if quick() {
+        RunPlan::quick()
+    } else {
+        RunPlan {
+            warmup: SimDuration::from_millis(25),
+            measure: SimDuration::from_millis(25),
+        }
+    }
+}
+
+/// Whether quick mode is enabled.
+pub fn quick() -> bool {
+    std::env::var("HOSTCC_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Where CSV outputs are written (`target/paper-figures/`).
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper-figures");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    dir
+}
+
+/// Print a titled table and save it as `<name>.csv`.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("\n=== {title} ===");
+    println!("{}", table.render());
+    let path = output_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    println!("[csv] {}", path.display());
+}
+
+/// The x-axis for the receiver-core sweeps (Figs. 3 and 4).
+pub fn core_axis() -> Vec<u32> {
+    if quick() {
+        vec![2, 8, 12, 16]
+    } else {
+        vec![2, 4, 6, 8, 10, 12, 14, 16]
+    }
+}
+
+/// The x-axis for the antagonist sweep (Fig. 6).
+pub fn antagonist_axis() -> Vec<u32> {
+    if quick() {
+        vec![0, 8, 15]
+    } else {
+        vec![0, 1, 2, 4, 6, 8, 10, 12, 14, 15]
+    }
+}
+
+/// The x-axis for the region-size sweep (Fig. 5), MiB.
+pub fn region_axis() -> Vec<u64> {
+    vec![4, 8, 12, 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_cover_paper_ranges() {
+        assert_eq!(*core_axis().first().unwrap(), 2);
+        assert_eq!(*core_axis().last().unwrap(), 16);
+        assert_eq!(*antagonist_axis().last().unwrap(), 15);
+        assert_eq!(region_axis(), vec![4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn output_dir_exists() {
+        assert!(output_dir().is_dir());
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal dependency-free argument parsing for the `hostcc` CLI.
+//!
+//! Grammar: `hostcc <command> [positional] [--flag value]... [--switch]...`
+//! Only what the CLI needs — not a general-purpose parser.
+
+use std::collections::BTreeMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positionals: Vec<String>,
+    /// `--key value` pairs and bare `--switch`es (value = "true").
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Parse errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` appeared with no value where one was required later.
+    UnknownFlag(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing command; try `hostcc help`"),
+            ArgError::UnknownFlag(name) => write!(f, "unknown flag --{name}"),
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag} {value}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Switches (flags that take no value).
+const SWITCHES: &[&str] = &["csv", "quick", "help"];
+
+/// Parse a raw argument vector (excluding argv[0]).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgError> {
+    let mut it = args.into_iter().peekable();
+    let command = it.next().ok_or(ArgError::MissingCommand)?;
+    let mut positionals = Vec::new();
+    let mut flags = BTreeMap::new();
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            if SWITCHES.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+            } else {
+                match it.next() {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.insert(name.to_string(), v);
+                    }
+                    _ => return Err(ArgError::UnknownFlag(name.to_string())),
+                }
+            }
+        } else {
+            positionals.push(tok);
+        }
+    }
+    Ok(ParsedArgs {
+        command,
+        positionals,
+        flags,
+    })
+}
+
+impl ParsedArgs {
+    /// A flag's value parsed as `T`, or `default` when absent.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// A boolean switch.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.flags.get(flag).map(|v| v == "true").unwrap_or(false)
+    }
+
+    /// An on/off flag (e.g. `--iommu off`), defaulting to `default`.
+    pub fn get_on_off(&self, flag: &str, default: bool) -> Result<bool, ArgError> {
+        match self.flags.get(flag).map(String::as_str) {
+            None => Ok(default),
+            Some("on") | Some("true") | Some("1") => Ok(true),
+            Some("off") | Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "on|off",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_positional_and_flags() {
+        let p = parse(argv("run fig3 --threads 14 --iommu off --csv")).unwrap();
+        assert_eq!(p.command, "run");
+        assert_eq!(p.positionals, vec!["fig3"]);
+        assert_eq!(p.flags.get("threads").unwrap(), "14");
+        assert_eq!(p.flags.get("iommu").unwrap(), "off");
+        assert!(p.switch("csv"));
+        assert!(!p.switch("quick"));
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert_eq!(parse(argv("")), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn flag_without_value_rejected() {
+        let e = parse(argv("run fig3 --threads")).unwrap_err();
+        assert_eq!(e, ArgError::UnknownFlag("threads".into()));
+        let e = parse(argv("run fig3 --threads --csv")).unwrap_err();
+        assert_eq!(e, ArgError::UnknownFlag("threads".into()));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = parse(argv("run x --threads 12 --seed 7")).unwrap();
+        assert_eq!(p.get_parsed("threads", 0u32, "integer").unwrap(), 12);
+        assert_eq!(p.get_parsed("seed", 1u64, "integer").unwrap(), 7);
+        assert_eq!(p.get_parsed("missing", 42u32, "integer").unwrap(), 42);
+        let bad = parse(argv("run x --threads nope")).unwrap();
+        assert!(bad.get_parsed("threads", 0u32, "integer").is_err());
+    }
+
+    #[test]
+    fn on_off_flags() {
+        let p = parse(argv("run x --iommu off --ddio on")).unwrap();
+        assert!(!p.get_on_off("iommu", true).unwrap());
+        assert!(p.get_on_off("ddio", false).unwrap());
+        assert!(p.get_on_off("absent", true).unwrap());
+        let bad = parse(argv("run x --iommu maybe")).unwrap();
+        assert!(bad.get_on_off("iommu", true).is_err());
+    }
+
+    #[test]
+    fn error_display_is_actionable() {
+        let msg = format!("{}", ArgError::BadValue {
+            flag: "threads".into(),
+            value: "x".into(),
+            expected: "integer",
+        });
+        assert!(msg.contains("--threads"));
+        assert!(msg.contains("integer"));
+    }
+}

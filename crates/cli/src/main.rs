@@ -1,0 +1,279 @@
+//! `hostcc` — command-line front end to the host-congestion laboratory.
+//!
+//! ```text
+//! hostcc list                         # available scenarios
+//! hostcc run fig3 --threads 14       # run one scenario with overrides
+//! hostcc sweep fig3 --threads 2..16  # sweep a parameter
+//! hostcc help
+//! ```
+
+mod args;
+mod registry;
+
+use args::{parse, ArgError, ParsedArgs};
+use hostcc::experiment::{run as run_sim, sweep as sweep_sims, RunPlan};
+use hostcc::report::{f, pct, Table};
+use hostcc::{CcKind, RunMetrics, TestbedConfig};
+use hostcc_sim::SimDuration;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match dispatch(argv) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn dispatch(argv: Vec<String>) -> Result<(), String> {
+    let parsed = match parse(argv) {
+        Ok(p) => p,
+        Err(ArgError::MissingCommand) => {
+            print_help();
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    match parsed.command.as_str() {
+        "help" | "-h" | "--help" => {
+            print_help();
+            Ok(())
+        }
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => cmd_run(&parsed).map_err(|e| e.to_string()),
+        "sweep" => cmd_sweep(&parsed).map_err(|e| e.to_string()),
+        other => Err(format!("unknown command `{other}`; try `hostcc help`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "hostcc — host-interconnect congestion laboratory\n\
+         \n\
+         USAGE:\n\
+         \u{20}  hostcc list\n\
+         \u{20}  hostcc run <scenario> [overrides]\n\
+         \u{20}  hostcc sweep <scenario> --threads A..B [overrides]\n\
+         \n\
+         OVERRIDES:\n\
+         \u{20}  --threads N         receiver cores\n\
+         \u{20}  --senders N         sender machines\n\
+         \u{20}  --antagonists N     STREAM antagonist cores\n\
+         \u{20}  --iommu on|off      memory protection\n\
+         \u{20}  --region-mib N      Rx region per thread\n\
+         \u{20}  --host-target-us N  Swift host-delay target\n\
+         \u{20}  --seed N            RNG seed\n\
+         \u{20}  --warmup-ms N       warm-up (default 25)\n\
+         \u{20}  --measure-ms N      measurement (default 25)\n\
+         \u{20}  --csv               machine-readable output\n\
+         \u{20}  --quick             short run (5+10 ms)"
+    );
+}
+
+fn cmd_list() {
+    let mut t = Table::new(["scenario", "description"]);
+    for s in registry::all() {
+        t.row([s.name.to_string(), s.description.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+/// Apply CLI overrides to a scenario's configuration.
+fn apply_overrides(cfg: &mut TestbedConfig, p: &ParsedArgs) -> Result<(), ArgError> {
+    cfg.receiver_threads = p.get_parsed("threads", cfg.receiver_threads, "integer")?;
+    cfg.senders = p.get_parsed("senders", cfg.senders, "integer")?;
+    cfg.antagonist_cores = p.get_parsed("antagonists", cfg.antagonist_cores, "integer")?;
+    cfg.seed = p.get_parsed("seed", cfg.seed, "integer")?;
+    cfg.iommu.enabled = p.get_on_off("iommu", cfg.iommu.enabled)?;
+    let region_mib: u64 = p.get_parsed("region-mib", cfg.rx_region_bytes >> 20, "integer")?;
+    cfg.rx_region_bytes = region_mib << 20;
+    let target_us: u64 = p.get_parsed("host-target-us", 0, "integer")?;
+    if target_us > 0 {
+        if let CcKind::Swift(ref mut sc) = cfg.cc {
+            sc.host_target = SimDuration::from_micros(target_us);
+        }
+    }
+    Ok(())
+}
+
+fn plan_from(p: &ParsedArgs) -> Result<RunPlan, ArgError> {
+    if p.switch("quick") {
+        return Ok(RunPlan::quick());
+    }
+    let warmup: u64 = p.get_parsed("warmup-ms", 25, "integer")?;
+    let measure: u64 = p.get_parsed("measure-ms", 25, "integer")?;
+    Ok(RunPlan {
+        warmup: SimDuration::from_millis(warmup),
+        measure: SimDuration::from_millis(measure),
+    })
+}
+
+fn metrics_table(rows: &[(String, &RunMetrics)]) -> Table {
+    let mut t = Table::new([
+        "scenario",
+        "tp_gbps",
+        "drop_rate",
+        "iotlb_miss_per_pkt",
+        "hostdelay_p50_us",
+        "hostdelay_p99_us",
+        "mem_bw_gbytes",
+    ]);
+    for (label, m) in rows {
+        t.row([
+            label.clone(),
+            f(m.app_throughput_gbps(), 2),
+            pct(m.drop_rate()),
+            f(m.iotlb_misses_per_packet(), 2),
+            f(m.host_delay_p50_us(), 1),
+            f(m.host_delay_p99_us(), 1),
+            f(m.memory_bandwidth_gbytes(), 1),
+        ]);
+    }
+    t
+}
+
+fn scenario_from(p: &ParsedArgs) -> Result<TestbedConfig, String> {
+    let name = p
+        .positionals
+        .first()
+        .ok_or_else(|| "missing scenario name; see `hostcc list`".to_string())?;
+    let s = registry::find(name)
+        .ok_or_else(|| format!("unknown scenario `{name}`; see `hostcc list`"))?;
+    let mut cfg = (s.build)();
+    apply_overrides(&mut cfg, p).map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn cmd_run(p: &ParsedArgs) -> Result<(), String> {
+    let cfg = scenario_from(p)?;
+    let plan = plan_from(p).map_err(|e| e.to_string())?;
+    let label = p.positionals[0].clone();
+    let m = run_sim(cfg, plan);
+    let t = metrics_table(&[(label, &m)]);
+    if p.switch("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+    Ok(())
+}
+
+/// Parse `A..B` (inclusive) range syntax.
+fn parse_range(s: &str) -> Option<(u32, u32)> {
+    let (a, b) = s.split_once("..")?;
+    let a: u32 = a.parse().ok()?;
+    let b: u32 = b.parse().ok()?;
+    (a <= b).then_some((a, b))
+}
+
+fn cmd_sweep(p: &ParsedArgs) -> Result<(), String> {
+    let name = p
+        .positionals
+        .first()
+        .cloned()
+        .ok_or_else(|| "missing scenario name; see `hostcc list`".to_string())?;
+    let s = registry::find(&name)
+        .ok_or_else(|| format!("unknown scenario `{name}`; see `hostcc list`"))?;
+
+    // Exactly one swept axis: the flag whose value contains "..".
+    let axes = ["threads", "antagonists", "senders", "region-mib"];
+    let swept: Vec<&str> = axes
+        .iter()
+        .copied()
+        .filter(|a| p.flags.get(*a).map(|v| v.contains("..")).unwrap_or(false))
+        .collect();
+    let axis = match swept.as_slice() {
+        [one] => *one,
+        [] => return Err("sweep needs one ranged flag, e.g. --threads 2..16".into()),
+        _ => return Err("sweep supports exactly one ranged flag".into()),
+    };
+    let (lo, hi) = parse_range(p.flags.get(axis).unwrap())
+        .ok_or_else(|| format!("--{axis}: expected A..B with A <= B"))?;
+
+    let plan = plan_from(p).map_err(|e| e.to_string())?;
+    let mut points = Vec::new();
+    for v in lo..=hi {
+        let mut cfg = (s.build)();
+        // Apply non-ranged overrides first, then the swept value.
+        let mut without_axis = p.clone();
+        without_axis.flags.remove(axis);
+        apply_overrides(&mut cfg, &without_axis).map_err(|e| e.to_string())?;
+        match axis {
+            "threads" => cfg.receiver_threads = v,
+            "antagonists" => cfg.antagonist_cores = v,
+            "senders" => cfg.senders = v,
+            "region-mib" => cfg.rx_region_bytes = (v as u64) << 20,
+            _ => unreachable!(),
+        }
+        points.push((format!("{name} {axis}={v}"), cfg));
+    }
+    let results = sweep_sims(points, plan);
+    let rows: Vec<(String, &RunMetrics)> = results
+        .iter()
+        .map(|r| (r.label.clone(), &r.metrics))
+        .collect();
+    let t = metrics_table(&rows);
+    if p.switch("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_parsing() {
+        assert_eq!(parse_range("2..16"), Some((2, 16)));
+        assert_eq!(parse_range("5..5"), Some((5, 5)));
+        assert_eq!(parse_range("9..2"), None);
+        assert_eq!(parse_range("abc"), None);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let p = parse(
+            "run fig3 --threads 14 --iommu off --seed 9 --region-mib 8"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let mut cfg = hostcc::scenarios::fig3(12, true);
+        apply_overrides(&mut cfg, &p).unwrap();
+        assert_eq!(cfg.receiver_threads, 14);
+        assert!(!cfg.iommu.enabled);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.rx_region_bytes, 8 << 20);
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        let p = parse(["run".to_string(), "nope".to_string()]).unwrap();
+        assert!(scenario_from(&p).unwrap_err().contains("unknown scenario"));
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        let e = dispatch(vec!["frobnicate".into()]).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn quick_plan_flag() {
+        let p = parse(
+            "run baseline --quick".split_whitespace().map(String::from),
+        )
+        .unwrap();
+        let plan = plan_from(&p).unwrap();
+        assert_eq!(plan.measure, SimDuration::from_millis(10));
+    }
+}

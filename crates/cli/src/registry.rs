@@ -1,0 +1,118 @@
+//! Named scenario registry: maps CLI names to configuration builders.
+
+use hostcc::scenarios;
+use hostcc::TestbedConfig;
+
+/// One registered scenario.
+pub struct Scenario {
+    /// CLI name.
+    pub name: &'static str,
+    /// One-line description shown by `hostcc list`.
+    pub description: &'static str,
+    /// Builder (default parameters; CLI flags override afterwards).
+    pub build: fn() -> TestbedConfig,
+}
+
+/// All scenarios reachable from the CLI.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "baseline",
+            description: "the §3 testbed: 40 senders, 12 cores, IOMMU on, hugepages",
+            build: scenarios::baseline,
+        },
+        Scenario {
+            name: "fig3",
+            description: "Fig. 3 point: IOMMU-induced congestion (use --threads/--iommu)",
+            build: || scenarios::fig3(12, true),
+        },
+        Scenario {
+            name: "fig4-4k",
+            description: "Fig. 4 point: hugepages disabled (4 KiB mappings)",
+            build: || scenarios::fig4(12, false),
+        },
+        Scenario {
+            name: "fig5",
+            description: "Fig. 5 point: region-size pressure (use --region-mib)",
+            build: || scenarios::fig5(12, true),
+        },
+        Scenario {
+            name: "fig6",
+            description: "Fig. 6 point: memory antagonist (use --antagonists/--iommu)",
+            build: || scenarios::fig6(12, false),
+        },
+        Scenario {
+            name: "blindspot",
+            description: "§3.1 CC blind spot at 14 cores (use --host-target-us)",
+            build: || scenarios::cc_blindspot(14, 100),
+        },
+        Scenario {
+            name: "host-aware",
+            description: "§4 extension: occupancy-echo CC with sub-RTT response",
+            build: || scenarios::with_host_aware(scenarios::fig3(14, true)),
+        },
+        Scenario {
+            name: "hot-buffers",
+            description: "§4 on-NIC-memory direction: hot pool + DDIO absorption",
+            build: || scenarios::with_hot_buffers(scenarios::fig3(14, true)),
+        },
+        Scenario {
+            name: "strict-iommu",
+            description: "strict mapping mode: per-buffer unmap + invalidation",
+            build: || scenarios::with_strict_iommu(scenarios::fig3(14, true)),
+        },
+        Scenario {
+            name: "dctcp",
+            description: "TCP-like baseline (ECN only) at the congested point",
+            build: || scenarios::with_dctcp(scenarios::fig3(14, true)),
+        },
+        Scenario {
+            name: "remote-numa",
+            description: "§4 coordinated response: antagonist on the remote NUMA node",
+            build: || scenarios::with_remote_antagonist(scenarios::fig6(12, false)),
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|s| s.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn every_scenario_builds() {
+        for s in all() {
+            let cfg = (s.build)();
+            assert!(cfg.senders > 0, "{} must be runnable", s.name);
+            assert!(cfg.receiver_threads > 0);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(find("fig3").is_some());
+        assert!(find("fig6").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn scenario_semantics_spot_checks() {
+        assert!(!(find("fig6").unwrap().build)().iommu.enabled);
+        assert!((find("strict-iommu").unwrap().build)().strict_iommu);
+        let ha = (find("host-aware").unwrap().build)();
+        assert!(matches!(ha.cc, hostcc::CcKind::HostAware(_)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Figure 1: host congestion across a production-like fleet.
+//!
+//! The paper opens with a scatter plot from a large Google cluster: host
+//! drop rate vs. access-link utilisation, binned over 24 h. Two features
+//! matter: drop rate correlates positively with utilisation, *and* drops
+//! occur even at low utilisation — the tell-tale of memory-bus-induced
+//! host congestion (§3.2). We reproduce the scatter with a fleet of
+//! simulated hosts whose core counts, antagonist intensity and offered
+//! load vary across (deterministically seeded) bins.
+
+use crate::experiment::{sweep, RunPlan};
+use crate::scenarios;
+use hostcc_host::TestbedConfig;
+use hostcc_sim::SimRng;
+
+/// Fleet generation parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of (host, 10-minute-bin) samples to simulate.
+    pub samples: usize,
+    /// Fleet RNG seed.
+    pub seed: u64,
+    /// Fraction of samples with a heavy memory antagonist (big-data jobs
+    /// co-located with network-heavy services).
+    pub heavy_antagonist_fraction: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            samples: 120,
+            seed: 42,
+            heavy_antagonist_fraction: 0.25,
+        }
+    }
+}
+
+/// One point of the Fig. 1 scatter.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterPoint {
+    /// Host access-link utilisation in [0, 1].
+    pub link_utilization: f64,
+    /// Host packet drop rate (drops / packets transmitted).
+    pub drop_rate: f64,
+    /// Receiver cores of this host.
+    pub receiver_threads: u32,
+    /// Antagonist cores running in this bin.
+    pub antagonist_cores: u32,
+}
+
+/// Draw one host-bin configuration.
+fn draw(rng: &mut SimRng, heavy_fraction: f64, sample: u64) -> TestbedConfig {
+    let threads = rng.next_range(2, 16) as u32;
+    let antagonist = if rng.chance(heavy_fraction) {
+        rng.next_range(8, 15) as u32
+    } else {
+        rng.next_range(0, 6) as u32
+    };
+    // Offered load varies with how many peers currently talk to the host.
+    let senders = rng.next_range(6, 40) as u32;
+    let mut cfg = scenarios::baseline();
+    cfg.receiver_threads = threads;
+    cfg.antagonist_cores = antagonist;
+    cfg.senders = senders;
+    // Production traffic mixes read sizes.
+    cfg = scenarios::with_mixed_reads(cfg);
+    // Roughly half the bins carry bursty traffic: low average utilisation
+    // with line-rate bursts, the regime where host-interconnect drops at
+    // low link utilisation appear.
+    if rng.chance(0.5) {
+        cfg.duty_cycle = 0.15 + 0.5 * rng.next_f64();
+    }
+    cfg.seed = 0xF1EE7 ^ sample;
+    cfg
+}
+
+/// Simulate the fleet and return the scatter points.
+pub fn simulate(cluster: ClusterConfig, plan: RunPlan) -> Vec<ClusterPoint> {
+    let mut rng = SimRng::new(cluster.seed);
+    let mut points = Vec::with_capacity(cluster.samples);
+    for i in 0..cluster.samples {
+        let cfg = draw(&mut rng, cluster.heavy_antagonist_fraction, i as u64);
+        points.push(((cfg.receiver_threads, cfg.antagonist_cores, cfg.access_link_bps), cfg));
+    }
+    sweep(points, plan)
+        .into_iter()
+        .map(|p| {
+            let (threads, antagonist, link_bps) = p.label;
+            ClusterPoint {
+                link_utilization: p.metrics.link_utilization(link_bps),
+                drop_rate: p.metrics.drop_rate(),
+                receiver_threads: threads,
+                antagonist_cores: antagonist,
+            }
+        })
+        .collect()
+}
+
+/// Summary statistics of the scatter: the two qualitative claims of Fig. 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSummary {
+    /// Pearson correlation between utilisation and drop rate.
+    pub utilization_drop_correlation: f64,
+    /// Fraction of samples with drops despite low (< 50%) utilisation.
+    pub low_util_drop_fraction: f64,
+    /// Fraction of samples with any drops at all.
+    pub any_drop_fraction: f64,
+}
+
+/// Compute the Fig. 1 summary over a scatter.
+pub fn summarize(points: &[ClusterPoint]) -> ClusterSummary {
+    let n = points.len() as f64;
+    let mean_u: f64 = points.iter().map(|p| p.link_utilization).sum::<f64>() / n;
+    let mean_d: f64 = points.iter().map(|p| p.drop_rate).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_u = 0.0;
+    let mut var_d = 0.0;
+    for p in points {
+        let du = p.link_utilization - mean_u;
+        let dd = p.drop_rate - mean_d;
+        cov += du * dd;
+        var_u += du * du;
+        var_d += dd * dd;
+    }
+    let corr = if var_u > 0.0 && var_d > 0.0 {
+        cov / (var_u.sqrt() * var_d.sqrt())
+    } else {
+        0.0
+    };
+    let dropping = |p: &&ClusterPoint| p.drop_rate > 1e-4;
+    let low_util_drops = points
+        .iter()
+        .filter(dropping)
+        .filter(|p| p.link_utilization < 0.5)
+        .count() as f64;
+    let any = points.iter().filter(dropping).count() as f64;
+    ClusterSummary {
+        utilization_drop_correlation: corr,
+        low_util_drop_fraction: low_util_drops / n,
+        any_drop_fraction: any / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_generation_is_deterministic() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let ca = draw(&mut a, 0.25, 3);
+        let cb = draw(&mut b, 0.25, 3);
+        assert_eq!(ca.receiver_threads, cb.receiver_threads);
+        assert_eq!(ca.antagonist_cores, cb.antagonist_cores);
+        assert_eq!(ca.senders, cb.senders);
+    }
+
+    #[test]
+    fn summary_math_on_synthetic_points() {
+        let points = vec![
+            ClusterPoint { link_utilization: 0.1, drop_rate: 0.0, receiver_threads: 4, antagonist_cores: 0 },
+            ClusterPoint { link_utilization: 0.4, drop_rate: 0.01, receiver_threads: 8, antagonist_cores: 12 },
+            ClusterPoint { link_utilization: 0.9, drop_rate: 0.03, receiver_threads: 12, antagonist_cores: 0 },
+        ];
+        let s = summarize(&points);
+        assert!(s.utilization_drop_correlation > 0.5, "positive correlation");
+        // The 0.4-utilisation host drops: a low-utilisation drop point.
+        assert!((s.low_util_drop_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.any_drop_fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_fleet_reproduces_fig1_features() {
+        // Tiny but real fleet run (kept small for test time).
+        let points = simulate(
+            ClusterConfig {
+                samples: 10,
+                seed: 11,
+                heavy_antagonist_fraction: 0.4,
+            },
+            RunPlan::quick(),
+        );
+        assert_eq!(points.len(), 10);
+        let s = summarize(&points);
+        // At least some hosts must be dropping for the plot to exist.
+        assert!(s.any_drop_fraction > 0.0, "no drops anywhere in fleet");
+    }
+}

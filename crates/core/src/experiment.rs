@@ -1,0 +1,136 @@
+//! Experiment runner: one-shot runs and parallel parameter sweeps.
+
+use hostcc_host::{RunMetrics, Simulation, TestbedConfig};
+use hostcc_sim::SimDuration;
+
+/// How long to warm up (reach CC steady state) and measure.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPlan {
+    /// Simulated warm-up discarded from the metrics.
+    pub warmup: SimDuration,
+    /// Simulated measurement interval.
+    pub measure: SimDuration,
+}
+
+impl Default for RunPlan {
+    /// 25 ms warm-up + 25 ms measurement: long enough for Swift to
+    /// converge and for drop rates to be estimated within a few percent
+    /// relative error at the paper's packet rates.
+    fn default() -> Self {
+        RunPlan {
+            warmup: SimDuration::from_millis(25),
+            measure: SimDuration::from_millis(25),
+        }
+    }
+}
+
+impl RunPlan {
+    /// A shorter plan for smoke tests and CI.
+    pub fn quick() -> Self {
+        RunPlan {
+            warmup: SimDuration::from_millis(5),
+            measure: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Run a single testbed configuration to completion and return metrics.
+pub fn run(cfg: TestbedConfig, plan: RunPlan) -> RunMetrics {
+    let mut sim = Simulation::new(cfg);
+    sim.run(plan.warmup, plan.measure)
+}
+
+/// One sweep point: a label, the configuration, and (after running) the
+/// measured metrics.
+#[derive(Debug)]
+pub struct SweepPoint<L> {
+    /// Caller-provided label (x-axis value, scenario tag).
+    pub label: L,
+    /// Measured metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Run a set of independent configurations in parallel (one OS thread per
+/// point, bounded by available parallelism) and return results in input
+/// order. Each simulation is single-threaded and deterministic; only the
+/// sweep is parallelised.
+pub fn sweep<L: Send>(points: Vec<(L, TestbedConfig)>, plan: RunPlan) -> Vec<SweepPoint<L>> {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut results: Vec<Option<SweepPoint<L>>> = Vec::new();
+    for _ in 0..points.len() {
+        results.push(None);
+    }
+    let work: Vec<(usize, (L, TestbedConfig))> = points.into_iter().enumerate().collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for item in work {
+        queue.push(item);
+    }
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..parallelism {
+            scope.spawn(|_| loop {
+                let Some((idx, (label, cfg))) = queue.pop() else {
+                    break;
+                };
+                let metrics = run(cfg, plan);
+                let point = SweepPoint { label, metrics };
+                results_mutex.lock()[idx] = Some(point);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|p| p.expect("all points ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(threads: u32) -> TestbedConfig {
+        TestbedConfig {
+            senders: 4,
+            receiver_threads: threads,
+            ..TestbedConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_run_produces_traffic() {
+        let m = run(tiny_cfg(2), RunPlan::quick());
+        assert!(m.delivered_packets > 1000);
+        assert!(m.app_throughput_gbps() > 1.0);
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_labels() {
+        let points = vec![
+            (2u32, tiny_cfg(2)),
+            (3u32, tiny_cfg(3)),
+            (4u32, tiny_cfg(4)),
+        ];
+        let out = sweep(points, RunPlan::quick());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].label, 2);
+        assert_eq!(out[1].label, 3);
+        assert_eq!(out[2].label, 4);
+        // More receiver cores, more CPU capacity, more throughput.
+        assert!(
+            out[2].metrics.app_throughput_gbps() > out[0].metrics.app_throughput_gbps()
+        );
+    }
+
+    #[test]
+    fn sweep_matches_sequential_run() {
+        // Parallel execution must not perturb determinism.
+        let par = sweep(vec![((), tiny_cfg(2))], RunPlan::quick());
+        let seq = run(tiny_cfg(2), RunPlan::quick());
+        assert_eq!(par[0].metrics.delivered_packets, seq.delivered_packets);
+        assert_eq!(par[0].metrics.host_drops(), seq.host_drops());
+        assert_eq!(par[0].metrics.iotlb_misses, seq.iotlb_misses);
+    }
+}

@@ -1,0 +1,54 @@
+//! # hostcc — a host-interconnect congestion laboratory
+//!
+//! A discrete-event reproduction of **"Understanding Host Interconnect
+//! Congestion"** (Agarwal et al., HotNets 2022): a packet-level simulator
+//! of the receiver-host datapath (NIC input buffer → Rx descriptors → PCIe
+//! credits → IOMMU/IOTLB → memory bus → receiver cores), a full
+//! implementation of the Swift congestion-control protocol, a STREAM-style
+//! memory antagonist, and experiment harnesses that regenerate every
+//! figure of the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hostcc::{scenarios, experiment::{run, RunPlan}};
+//!
+//! // One point of Figure 3: 4 receiver cores, IOMMU enabled.
+//! let cfg = scenarios::fig3(4, true);
+//! let metrics = run(cfg, RunPlan::quick());
+//! assert!(metrics.app_throughput_gbps() > 10.0);
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`scenarios`] — one constructor per paper figure/panel;
+//! * [`experiment`] — single runs and parallel sweeps;
+//! * [`model`] — the paper's Little's-law throughput bound (§3.1);
+//! * [`cluster`] — the Fig. 1 fleet scatter;
+//! * [`report`] — text/CSV tables for harness output;
+//! * re-exports of every substrate crate (`sim`, `mem`, `iommu`, `pcie`,
+//!   `memsys`, `nic`, `fabric`, `transport`, `host`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod experiment;
+pub mod model;
+pub mod report;
+pub mod scenarios;
+
+pub use hostcc_host::{BufferRecycling, CcKind, RunMetrics, Simulation, Testbed, TestbedConfig};
+
+/// Substrate crates re-exported under one roof.
+pub mod substrate {
+    pub use hostcc_fabric as fabric;
+    pub use hostcc_host as host;
+    pub use hostcc_iommu as iommu;
+    pub use hostcc_mem as mem;
+    pub use hostcc_memsys as memsys;
+    pub use hostcc_nic as nic;
+    pub use hostcc_pcie as pcie;
+    pub use hostcc_sim as sim;
+    pub use hostcc_transport as transport;
+}

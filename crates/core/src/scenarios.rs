@@ -1,0 +1,268 @@
+//! Named experiment scenarios: one constructor per paper figure/panel.
+//!
+//! Each function returns the `TestbedConfig` for one point of one figure,
+//! so harnesses, examples and tests all drive the *same* configurations.
+
+use hostcc_host::{CcKind, TestbedConfig};
+use hostcc_mem::PageSize;
+use hostcc_transport::DctcpConfig;
+
+/// Baseline testbed (§3 setup): 40 senders, Swift, hugepages, 12 MiB
+/// regions, IOMMU on, no antagonist.
+pub fn baseline() -> TestbedConfig {
+    TestbedConfig::default()
+}
+
+/// Figure 3: throughput / drop rate / IOTLB misses vs. receiver cores,
+/// IOMMU on or off. Hugepages enabled.
+pub fn fig3(receiver_threads: u32, iommu_on: bool) -> TestbedConfig {
+    let mut cfg = baseline();
+    cfg.receiver_threads = receiver_threads;
+    cfg.iommu.enabled = iommu_on;
+    cfg
+}
+
+/// Figure 4: same sweep with hugepages enabled or disabled (4 KiB
+/// mappings for the data regions). IOMMU always on.
+pub fn fig4(receiver_threads: u32, hugepages: bool) -> TestbedConfig {
+    let mut cfg = baseline();
+    cfg.receiver_threads = receiver_threads;
+    cfg.iommu.enabled = true;
+    cfg.data_page = if hugepages {
+        PageSize::Size2M
+    } else {
+        PageSize::Size4K
+    };
+    cfg
+}
+
+/// Figure 5: throughput / drop rate / IOTLB misses vs. Rx memory region
+/// size at 12 receiver cores.
+pub fn fig5(region_mib: u64, iommu_on: bool) -> TestbedConfig {
+    let mut cfg = baseline();
+    cfg.receiver_threads = 12;
+    cfg.rx_region_bytes = region_mib << 20;
+    cfg.iommu.enabled = iommu_on;
+    cfg
+}
+
+/// Figure 6: throughput / memory bandwidth / drop rate vs. STREAM
+/// antagonist cores at 12 receiver threads.
+pub fn fig6(antagonist_cores: u32, iommu_on: bool) -> TestbedConfig {
+    let mut cfg = baseline();
+    cfg.receiver_threads = 12;
+    cfg.antagonist_cores = antagonist_cores;
+    cfg.iommu.enabled = iommu_on;
+    cfg
+}
+
+/// §3.1 CC-blind-spot study: like Fig. 3, but with a configurable Swift
+/// host-delay target, to show that the 1 MiB NIC buffer overflows below
+/// the default 100 µs target (and that lowering the target alone cannot
+/// fix host congestion — §4's argument).
+pub fn cc_blindspot(receiver_threads: u32, host_target_us: u64) -> TestbedConfig {
+    let mut cfg = baseline();
+    cfg.receiver_threads = receiver_threads;
+    if let CcKind::Swift(ref mut sc) = cfg.cc {
+        sc.host_target = hostcc_sim::SimDuration::from_micros(host_target_us);
+    }
+    cfg
+}
+
+/// Baseline-protocol comparison: the same workload under a DCTCP-style
+/// ECN controller (TCP-like, fabric signals only) instead of Swift.
+pub fn with_dctcp(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.cc = CcKind::Dctcp(DctcpConfig::default());
+    // Give the baseline its congestion signal: ECN marking at the switch.
+    cfg.ecn_threshold_bytes = 300 << 10;
+    cfg
+}
+
+/// §4 extension: the host-aware controller — Swift plus a sub-RTT
+/// response to the NIC-buffer occupancy echoed on every ACK (the
+/// "congestion signals from outside the network" direction, implemented).
+pub fn with_host_aware(mut cfg: TestbedConfig) -> TestbedConfig {
+    let swift = match &cfg.cc {
+        CcKind::Swift(sc) => sc.clone(),
+        _ => hostcc_transport::SwiftConfig::default(),
+    };
+    cfg.cc = CcKind::HostAware(hostcc_transport::HostAwareConfig {
+        swift,
+        ..hostcc_transport::HostAwareConfig::default()
+    });
+    cfg
+}
+
+/// §4-adjacent ablation (the on-NIC-memory direction, paper ref [30]):
+/// an aggressively-reused hot buffer pool. The tiny working set fits both
+/// the IOTLB and the DDIO slice, relieving translation pressure *and*
+/// memory-bus write traffic.
+pub fn with_hot_buffers(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.recycling = hostcc_host::BufferRecycling::Hot;
+    cfg
+}
+
+/// Strict-IOMMU variant: per-buffer map/unmap + IOTLB invalidation
+/// (Linux strict/dynamic mapping modes) instead of the stack's loose
+/// mode. Dynamic mappings are page-granular, so hugepage sharing across
+/// buffers is lost too — the paper's justification for running loose
+/// ("other modes … are known to cause even worse IOTLB misses").
+pub fn with_strict_iommu(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.strict_iommu = true;
+    cfg.data_page = PageSize::Size4K;
+    cfg
+}
+
+/// A production-like mix of RPC read sizes (small metadata reads through
+/// bulk transfers) instead of the paper's uniform 16 KB microbenchmark.
+pub fn with_mixed_reads(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.read_size_mix = vec![
+        (4 * 1024, 0.35),
+        (16 * 1024, 0.40),
+        (64 * 1024, 0.20),
+        (256 * 1024, 0.05),
+    ];
+    cfg
+}
+
+/// §4's coordinated-response direction: reschedule the memory antagonist
+/// to the NUMA node the NIC is *not* attached to, instead of reducing the
+/// network rate. Only cross-socket spill traffic stays on the NIC-local
+/// memory controller.
+pub fn with_remote_antagonist(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.stream.local_fraction = 0.15;
+    cfg
+}
+
+/// NIC without descriptor prefetch: every packet's descriptor fetch is a
+/// blocking PCIe read round trip in the DMA pipeline.
+pub fn without_descriptor_prefetch(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.model_dma_read_latency = true;
+    cfg
+}
+
+/// Fixed-window variant (no congestion control) for calibration runs.
+pub fn with_fixed_window(mut cfg: TestbedConfig, window: f64) -> TestbedConfig {
+    cfg.cc = CcKind::Fixed(window);
+    cfg
+}
+
+/// §4 ablation: a larger NIC input buffer (e.g. 4 MiB instead of 1 MiB)
+/// so that the host-delay signal exceeds Swift's target before drops.
+pub fn with_nic_buffer(mut cfg: TestbedConfig, bytes: u64) -> TestbedConfig {
+    cfg.nic.input_buffer_bytes = bytes;
+    cfg
+}
+
+/// §4 ablation: a larger IOTLB (future-host exploration).
+pub fn with_iotlb_entries(mut cfg: TestbedConfig, entries: usize) -> TestbedConfig {
+    cfg.iommu.iotlb_entries = entries;
+    cfg.iommu.iotlb_ways = entries; // keep it fully associative
+    cfg
+}
+
+/// §4 ablation: memory-bandwidth QoS (Intel MBA-style). MBA throttles the
+/// request rate of selected cores, so we cap the antagonist's per-core
+/// offered bandwidth at `throttle` of its unconstrained value — keeping
+/// the bus below saturation and the DMA path fast.
+pub fn with_membw_qos(mut cfg: TestbedConfig, throttle: f64) -> TestbedConfig {
+    assert!((0.0..=1.0).contains(&throttle), "throttle is a fraction");
+    cfg.stream.per_core_bytes_per_sec *= throttle;
+    cfg
+}
+
+/// Swift variant for §4's "sub-RTT response" discussion: an ACK-path
+/// response scaled by a faster reaction (smaller RTT gating is not
+/// directly modelled; we approximate by a tighter host target plus a
+/// stronger decrease).
+pub fn with_subrtt_response(mut cfg: TestbedConfig, host_target_us: u64) -> TestbedConfig {
+    if let CcKind::Swift(ref mut sc) = cfg.cc {
+        sc.host_target = hostcc_sim::SimDuration::from_micros(host_target_us);
+        sc.max_mdf = 0.7;
+        sc.beta = 1.2;
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_toggles_iommu() {
+        assert!(fig3(12, true).iommu.enabled);
+        assert!(!fig3(12, false).iommu.enabled);
+        assert_eq!(fig3(7, true).receiver_threads, 7);
+    }
+
+    #[test]
+    fn fig4_toggles_page_size() {
+        assert_eq!(fig4(12, true).data_page, PageSize::Size2M);
+        assert_eq!(fig4(12, false).data_page, PageSize::Size4K);
+        assert!(fig4(12, false).iommu.enabled, "fig4 is always IOMMU-on");
+    }
+
+    #[test]
+    fn fig5_sets_region_and_fixed_cores() {
+        let cfg = fig5(16, true);
+        assert_eq!(cfg.rx_region_bytes, 16 << 20);
+        assert_eq!(cfg.receiver_threads, 12);
+    }
+
+    #[test]
+    fn fig6_sets_antagonist() {
+        let cfg = fig6(15, false);
+        assert_eq!(cfg.antagonist_cores, 15);
+        assert!(!cfg.iommu.enabled);
+    }
+
+    #[test]
+    fn blindspot_sets_target() {
+        let cfg = cc_blindspot(12, 40);
+        match cfg.cc {
+            CcKind::Swift(ref s) => {
+                assert_eq!(s.host_target, hostcc_sim::SimDuration::from_micros(40))
+            }
+            _ => panic!("expected swift"),
+        }
+    }
+
+    #[test]
+    fn host_aware_preserves_swift_params() {
+        let mut base = baseline();
+        if let CcKind::Swift(ref mut sc) = base.cc {
+            sc.ai = 0.125;
+        }
+        let cfg = with_host_aware(base);
+        match cfg.cc {
+            CcKind::HostAware(ref h) => assert_eq!(h.swift.ai, 0.125),
+            _ => panic!("expected host-aware"),
+        }
+    }
+
+    #[test]
+    fn dctcp_baseline_enables_ecn() {
+        let cfg = with_dctcp(baseline());
+        assert!(matches!(cfg.cc, CcKind::Dctcp(_)));
+        assert!(cfg.ecn_threshold_bytes > 0);
+    }
+
+    #[test]
+    fn mixed_reads_set_a_distribution() {
+        let cfg = with_mixed_reads(baseline());
+        assert_eq!(cfg.read_size_mix.len(), 4);
+        let total: f64 = cfg.read_size_mix.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ablations_apply() {
+        let cfg = with_nic_buffer(baseline(), 4 << 20);
+        assert_eq!(cfg.nic.input_buffer_bytes, 4 << 20);
+        let cfg = with_iotlb_entries(baseline(), 512);
+        assert_eq!(cfg.iommu.iotlb_entries, 512);
+        assert_eq!(cfg.iommu.iotlb_ways, 512);
+        let cfg = with_membw_qos(baseline(), 0.5);
+        assert!((cfg.stream.per_core_bytes_per_sec - 5e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # hostcc-fabric
+//!
+//! The network between senders and the receiver host: the shared wire
+//! packet format (with the timestamp/delay-echo fields Swift needs), links
+//! with serialisation + propagation, and an output-queued switch port with
+//! tail-drop and ECN marking. In all of the paper's experiments the fabric
+//! has headroom — congestion lives at the host — but the incast egress
+//! port into the receiver's access link must still be modelled so that
+//! fabric RTTs and Swift's fabric-delay component are realistic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod link;
+mod packet;
+
+pub use link::{EnqueueOutcome, Link, SwitchPort};
+pub use packet::{FlowId, Packet, PacketKind, WireFormat};

@@ -1,0 +1,1064 @@
+//! The testbed world: every substrate composed into one discrete-event
+//! simulation reproducing the paper's receiver-host datapath (Fig. 2).
+//!
+//! The life of a packet, exactly as §2 describes it:
+//!
+//! 1. a sender flow transmits over its access link into the incast switch;
+//! 2. the switch egress delivers it to the receiver NIC's input buffer
+//!    (tail-drop — the host drop point);
+//! 3. the DMA pipeline admits the head-of-line packet when PCIe posted
+//!    credits allow, consumes an Rx descriptor, translates the descriptor
+//!    fetch / payload write / completion write through the IOMMU (IOTLB
+//!    misses walk the page table at memory-subsystem latency);
+//! 4. the write serialises through PCIe and the memory bus, after which
+//!    credits return and the next packet can be admitted — any latency on
+//!    this path shrinks the usable in-flight window (Little's law);
+//! 5. a receiver thread (dedicated core) processes the packet, frees the
+//!    buffer, replenishes a descriptor, and emits an ACK echoing the
+//!    measured *host delay* (NIC arrival → processing done) — the signal
+//!    Swift compares against its 100 µs target.
+
+use crate::config::{CcKind, TestbedConfig};
+use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::vlink::VariableRateLink;
+use hostcc_fabric::{EnqueueOutcome, FlowId, Link, Packet, SwitchPort};
+use hostcc_iommu::Iommu;
+use hostcc_mem::{
+    Iova, PageSize, RecycleOrder, RegionRegistry, RxBufferPool,
+};
+use hostcc_memsys::{AgentClass, AgentId, MemorySystem, StreamAntagonist};
+use hostcc_nic::Nic;
+use hostcc_pcie::{credits_for_write, CreditState};
+use hostcc_sim::{
+    Engine, Ewma, Scheduler, SerialLink, SimDuration, SimRng, SimTime, World,
+};
+use hostcc_transport::{
+    Dctcp, FixedWindow, HostAware, ReceiverFlow, RpcReadChannel, SendBlocked, SenderFlow, Swift,
+};
+
+/// A DMA in flight between credit admission and completion.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaJob {
+    pkt: Packet,
+    nic_arrival: SimTime,
+    buffer: Iova,
+    thread: u32,
+    credit_h: u32,
+    credit_d: u32,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// A sender flow attempts to transmit.
+    TrySend(u32),
+    /// A data packet reaches the incast switch egress.
+    AtSwitch(Packet),
+    /// A packet arrives at the receiver NIC.
+    AtNic(Packet),
+    /// Attempt to admit queued packets into the DMA pipeline.
+    DmaLaunch,
+    /// A packet's DMA retired to memory; credits return.
+    DmaComplete(DmaJob),
+    /// A receiver thread finished processing a packet.
+    CpuDone(DmaJob),
+    /// An ACK (with piggybacked RPC frontier) reaches its sender.
+    AckToSender {
+        /// Flow index.
+        flow: u32,
+        /// The ACK packet.
+        ack: Packet,
+        /// Piggybacked data frontier.
+        frontier: u64,
+    },
+    /// Periodic retransmission-timer sweep.
+    RtoSweep,
+    /// Periodic memory-demand refresh.
+    MemTick,
+}
+
+/// The complete simulated testbed (implements [`World`]).
+pub struct Testbed {
+    cfg: TestbedConfig,
+    rng: SimRng,
+    // --- senders & flows ---
+    flows: Vec<SenderFlow>,
+    flow_ids: Vec<FlowId>,
+    sender_links: Vec<Link>,
+    recv_flows: Vec<ReceiverFlow>,
+    rpc: Vec<RpcReadChannel>,
+    // --- fabric ---
+    switch: SwitchPort,
+    // --- host ---
+    nic: Nic,
+    iommu: Iommu,
+    mem: MemorySystem,
+    nic_agent: AgentId,
+    app_agent: AgentId,
+    antagonist: StreamAntagonist,
+    credits: CreditState,
+    pcie_pipe: SerialLink,
+    mem_pipe: VariableRateLink,
+    pools: Vec<RxBufferPool>,
+    core_free_at: Vec<SimTime>,
+    ring_cursor: Vec<[u64; 3]>,
+    // --- demand window ---
+    window_payload: u64,
+    window_walks: u64,
+    last_tick: SimTime,
+    nic_demand: Ewma,
+    app_demand: Ewma,
+    // --- credit constants ---
+    pkt_credit_h: u32,
+    pkt_credit_d: u32,
+    /// Fraction of DMA writes currently reaching DRAM (DDIO leak),
+    /// refreshed every mem tick.
+    ddio_leak: f64,
+    /// Rolling trace of DMA-launch thread ids (diagnostics).
+    pub launch_trace: std::collections::VecDeque<u32>,
+    /// Mean switch backlog accumulator (diagnostics).
+    pub switch_backlog_sum: f64,
+    /// Mean sender-link backlog accumulator (diagnostics).
+    pub link_backlog_sum: f64,
+    /// Backlog sample count (diagnostics).
+    pub backlog_samples: u64,
+    /// Metrics accumulator (armed after warm-up).
+    pub metrics: MetricsCollector,
+    rtx_base: u64,
+    timeout_base: u64,
+}
+
+impl Testbed {
+    /// Build the testbed from a configuration. Registers all memory
+    /// regions, pre-posts descriptor rings and creates every flow.
+    pub fn new(cfg: TestbedConfig) -> Self {
+        let mut rng = SimRng::new(cfg.seed);
+        let wire = cfg.wire;
+
+        // Memory system and agents.
+        let mut mem = MemorySystem::new(cfg.memsys.clone());
+        let nic_agent = mem.register_agent("nic-dma", AgentClass::Io);
+        let app_agent = mem.register_agent("receiver-copies", AgentClass::Cpu);
+        let mut antagonist = StreamAntagonist::new(&mut mem, cfg.stream.clone());
+        antagonist.set_cores(&mut mem, cfg.antagonist_cores);
+
+        // IOMMU and registered regions.
+        let mut iommu = Iommu::new(cfg.iommu.clone());
+        let threads = cfg.receiver_threads;
+        let phys = (threads as u64 + 2) * (cfg.rx_region_bytes + (4 << 20)) + (256 << 20);
+        let mut registry = RegionRegistry::new(phys);
+
+        let mut nic = Nic::new(cfg.nic.clone());
+        let mut pools = Vec::with_capacity(threads as usize);
+        for t in 0..threads {
+            // Data region (hugepage or 4K mapping per the scenario).
+            let data = registry
+                .register(iommu.page_table_mut(), t, cfg.rx_region_bytes, cfg.data_page)
+                .expect("phys budget");
+            // Control region: descriptor ring + CQ + ACK buffer, 4 KiB
+            // mappings (as in the paper's setup).
+            let ring_bytes = cfg.nic.ring_entries as u64 * cfg.nic.desc_bytes;
+            let cq_bytes = cfg.nic.ring_entries as u64 * cfg.nic.cqe_bytes;
+            let ack_pool_bytes = cfg.ack_pool_pages.max(1) as u64 * 4096;
+            let ctrl_len = ring_bytes + cq_bytes + ack_pool_bytes;
+            let ctrl = registry
+                .register(iommu.page_table_mut(), t, ctrl_len, PageSize::Size4K)
+                .expect("phys budget");
+            let ring_base = ctrl.iova_base;
+            let cq_base = ctrl.iova_base.add(ring_bytes);
+            let ack_buf = ctrl.iova_base.add(ring_bytes + cq_bytes);
+            let q = nic.add_queue(ring_base, cq_base, ack_buf);
+
+            let order = match cfg.recycling {
+                crate::config::BufferRecycling::Scattered => RecycleOrder::Random {
+                    seed: cfg.seed ^ (0x9E37 + t as u64 * 0x1234_5677),
+                },
+                crate::config::BufferRecycling::Sequential => RecycleOrder::Fifo,
+                crate::config::BufferRecycling::Hot => RecycleOrder::Lifo,
+            };
+            let mut pool = RxBufferPool::new(&data, cfg.buffer_slot_bytes, order);
+            // Pre-post the descriptor ring. A hot (on-NIC-memory-style)
+            // pool posts a shallow ring so the outstanding buffer set
+            // stays small; the default stack fills the whole ring.
+            let prepost = match cfg.recycling {
+                crate::config::BufferRecycling::Hot => 64,
+                _ => cfg.nic.ring_entries,
+            };
+            for _ in 0..prepost {
+                if nic.queues[q].ring.free_slots() == 0 {
+                    break;
+                }
+                match pool.alloc() {
+                    Some(b) => {
+                        nic.queues[q].ring.post(b);
+                    }
+                    None => break,
+                }
+            }
+            pools.push(pool);
+        }
+
+        // Flows: one per (sender, thread).
+        let mut flows = Vec::new();
+        let mut flow_ids = Vec::new();
+        let mut recv_flows = Vec::new();
+        let mut rpc = Vec::new();
+        let total_weight: f64 = cfg.read_size_mix.iter().map(|(_, w)| w).sum();
+        for s in 0..cfg.senders {
+            for t in 0..threads {
+                // Sample this connection's read size from the mix.
+                let mut rpc_cfg = cfg.rpc;
+                if total_weight > 0.0 {
+                    let mut pick = rng.next_f64() * total_weight;
+                    for &(bytes, w) in &cfg.read_size_mix {
+                        pick -= w;
+                        if pick <= 0.0 {
+                            rpc_cfg.read_bytes = bytes.max(rpc_cfg.mtu_payload);
+                            break;
+                        }
+                    }
+                }
+                let cc: Box<dyn hostcc_transport::CongestionControl> = match &cfg.cc {
+                    CcKind::Swift(sc) => {
+                        let mut sc = sc.clone();
+                        let d = cfg.target_dispersion.clamp(0.0, 0.9);
+                        let scale = 1.0 - d + 2.0 * d * rng.next_f64();
+                        sc.fabric_base_target = sc.fabric_base_target.mul_f64(scale);
+                        sc.fs_range = sc.fs_range.mul_f64(scale);
+                        Box::new(Swift::new(sc, cfg.flow.initial_cwnd))
+                    }
+                    CcKind::HostAware(hc) => {
+                        let mut hc = hc.clone();
+                        let d = cfg.target_dispersion.clamp(0.0, 0.9);
+                        let scale = 1.0 - d + 2.0 * d * rng.next_f64();
+                        hc.swift.fabric_base_target =
+                            hc.swift.fabric_base_target.mul_f64(scale);
+                        hc.swift.fs_range = hc.swift.fs_range.mul_f64(scale);
+                        Box::new(HostAware::new(hc, cfg.flow.initial_cwnd))
+                    }
+                    CcKind::Dctcp(dc) => Box::new(Dctcp::new(dc.clone(), cfg.flow.initial_cwnd)),
+                    CcKind::Fixed(w) => Box::new(FixedWindow::new(*w)),
+                };
+                let mut f = SenderFlow::new(cfg.flow.clone(), cc);
+                let ch = RpcReadChannel::new(rpc_cfg);
+                f.set_data_frontier(ch.data_frontier());
+                flows.push(f);
+                flow_ids.push(FlowId { sender: s, thread: t });
+                recv_flows.push(ReceiverFlow::new());
+                rpc.push(ch);
+            }
+        }
+
+        let sender_links = (0..cfg.senders)
+            .map(|_| {
+                let spread = cfg.propagation_spread.clamp(0.0, 0.95);
+                let factor = 1.0 - spread + 2.0 * spread * rng.next_f64();
+                Link::new(cfg.sender_link_bps, cfg.hop_propagation.mul_f64(factor))
+            })
+            .collect();
+        let switch = SwitchPort::new(
+            cfg.access_link_bps,
+            cfg.hop_propagation,
+            cfg.switch_buffer_bytes,
+            cfg.ecn_threshold_bytes,
+        );
+
+        let pcie_pipe = SerialLink::new(cfg.pcie.effective_goodput_bytes_per_sec());
+        let mem_pipe = VariableRateLink::new(cfg.memsys.achievable_bytes_per_sec());
+        let credits = CreditState::new(cfg.credits);
+        let (pkt_credit_h, pkt_credit_d) =
+            credits_for_write(wire.mtu_payload as u64, cfg.pcie.max_payload);
+
+        let _ = &mut rng;
+        Testbed {
+            rng,
+            flows,
+            flow_ids,
+            sender_links,
+            recv_flows,
+            rpc,
+            switch,
+            nic,
+            iommu,
+            mem,
+            nic_agent,
+            app_agent,
+            antagonist,
+            credits,
+            pcie_pipe,
+            mem_pipe,
+            pools,
+            core_free_at: vec![SimTime::ZERO; threads as usize],
+            ring_cursor: vec![[0; 3]; threads as usize],
+            window_payload: 0,
+            window_walks: 0,
+            last_tick: SimTime::ZERO,
+            nic_demand: Ewma::new(0.3),
+            app_demand: Ewma::new(0.3),
+            pkt_credit_h,
+            pkt_credit_d,
+            ddio_leak: 1.0,
+            launch_trace: std::collections::VecDeque::new(),
+            switch_backlog_sum: 0.0,
+            link_backlog_sum: 0.0,
+            backlog_samples: 0,
+            metrics: MetricsCollector::new(),
+            rtx_base: 0,
+            timeout_base: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this testbed was built with.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.cfg
+    }
+
+    /// Kick off the simulation: initial send attempts + periodic timers.
+    pub fn start(&mut self, sched: &mut Scheduler<Event>) {
+        let n = self.flows.len() as u32;
+        for f in 0..n {
+            // Slight deterministic desynchronisation of flow start times.
+            let jitter = SimDuration::from_nanos((f as u64 * 193) % 20_000);
+            sched.after(jitter, Event::TrySend(f));
+        }
+        sched.after(self.cfg.mem_tick, Event::MemTick);
+        sched.after(self.cfg.rto_sweep, Event::RtoSweep);
+    }
+
+    fn flow_index(&self, id: FlowId) -> u32 {
+        id.sender * self.cfg.receiver_threads + id.thread
+    }
+
+    /// Begin measurement (discard warm-up counts).
+    pub fn arm_metrics(&mut self, now: SimTime) {
+        self.metrics.arm(now);
+        self.nic.input.reset_peak();
+        self.rtx_base = self.flows.iter().map(|f| f.stats().retransmits).sum();
+        self.timeout_base = self.flows.iter().map(|f| f.stats().timeouts).sum();
+    }
+
+    /// Snapshot metrics at `now`.
+    pub fn snapshot(&mut self, now: SimTime) -> RunMetrics {
+        let mean_cwnd =
+            self.flows.iter().map(|f| f.cwnd()).sum::<f64>() / self.flows.len() as f64;
+        let mut m = self
+            .metrics
+            .snapshot(now, self.nic.input.peak_bytes(), mean_cwnd);
+        let rtx_now: u64 = self.flows.iter().map(|f| f.stats().retransmits).sum();
+        let to_now: u64 = self.flows.iter().map(|f| f.stats().timeouts).sum();
+        m.retransmits = rtx_now - self.rtx_base;
+        m.timeouts = to_now - self.timeout_base;
+        m
+    }
+
+    /// Latency charged per page-walk memory access: the memory latency
+    /// curve (capped — page-table lines are cache-friendly) times the
+    /// IOMMU walker penalty (dependent accesses through the root complex).
+    fn walk_access_latency_ns(&mut self) -> f64 {
+        let full = self.mem.access_latency_ns();
+        let base = self.cfg.memsys.base_latency_ns;
+        full.min(base * self.cfg.walk_latency_cap_factor) * self.cfg.walk_access_penalty
+    }
+
+    /// Pick the control-structure page a per-packet ring access touches.
+    ///
+    /// Each ring keeps a hot window of pages that per-packet accesses
+    /// cycle through (descriptor prefetch batches, out-of-order
+    /// completion retirement). Cyclic reuse is LRU's worst case: below
+    /// IOTLB capacity it is free, past capacity it thrashes — which is
+    /// what produces the sharp Fig. 3 knee.
+    fn ring_page_offset(&mut self, thread: usize, which: usize, struct_bytes: u64) -> u64 {
+        let hot = match which {
+            0 => self.cfg.ring_hot_pages,
+            1 => self.cfg.cq_hot_pages,
+            _ => self.cfg.ack_pool_pages,
+        };
+        let pages = (struct_bytes / 4096).max(1).min(hot.max(1) as u64);
+        let c = self.ring_cursor[thread][which];
+        self.ring_cursor[thread][which] = c + 1;
+        (c % pages) * 4096
+    }
+
+    // ---- event handlers ----
+
+    fn handle_try_send(&mut self, now: SimTime, f: u32, sched: &mut Scheduler<Event>) {
+        // Bursty workloads: outside the active window, hold transmissions
+        // until the next burst begins (all of a host's flows share the
+        // pattern, as co-located application phases do).
+        if self.cfg.duty_cycle < 1.0 {
+            let period = self.cfg.duty_period.as_nanos().max(1);
+            let active = (period as f64 * self.cfg.duty_cycle) as u64;
+            let phase = now.as_nanos() % period;
+            if phase >= active {
+                let next_burst = now + SimDuration::from_nanos(period - phase);
+                sched.at(next_burst, Event::TrySend(f));
+                return;
+            }
+        }
+        let id = self.flow_ids[f as usize];
+        match self.flows[f as usize].try_send(now) {
+            Ok(seq) => {
+                let pkt = self.cfg.wire.data_packet(id, seq, now);
+                if self.metrics.armed {
+                    self.metrics.data_packets_sent += 1;
+                }
+                let link = &mut self.sender_links[id.sender as usize];
+                let arrive = link.transmit(now, &pkt);
+                sched.at(arrive, Event::AtSwitch(pkt));
+                // Chain the next attempt at the link's serialisation slot.
+                let next = link.free_at().max(now);
+                sched.at(next, Event::TrySend(f));
+            }
+            Err(SendBlocked::PacedUntil(t)) => sched.at(t.max(now), Event::TrySend(f)),
+            Err(SendBlocked::WindowLimited) | Err(SendBlocked::DataLimited) => {
+                // Woken by the next ACK / frontier advance.
+            }
+        }
+    }
+
+    fn handle_at_switch(&mut self, now: SimTime, pkt: Packet, sched: &mut Scheduler<Event>) {
+        let (outcome, pkt) = self.switch.enqueue(now, pkt);
+        match outcome {
+            EnqueueOutcome::DeliverAt(t) => sched.at(t, Event::AtNic(pkt)),
+            EnqueueOutcome::Dropped => {
+                if self.metrics.armed {
+                    self.metrics.drops_fabric += 1;
+                }
+            }
+        }
+    }
+
+    fn handle_at_nic(&mut self, now: SimTime, pkt: Packet, sched: &mut Scheduler<Event>) {
+        if self.metrics.armed {
+            self.metrics.nic_arrival_wire_bytes += pkt.wire_bytes as u64;
+        }
+        if self.nic.input.enqueue(now, pkt) {
+            sched.immediately(Event::DmaLaunch);
+        } else {
+            self.nic.stats.drops_buffer_full += 1;
+            if self.metrics.armed {
+                self.metrics.drops_buffer_full += 1;
+            }
+        }
+    }
+
+    fn handle_dma_launch(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        loop {
+            if self.nic.input.is_empty() {
+                return;
+            }
+            if !self.credits.can_admit(self.pkt_credit_h, self.pkt_credit_d) {
+                return; // retried on the next DmaComplete
+            }
+            let qp = self.nic.input.dequeue().expect("peeked non-empty");
+            let thread = qp.packet.flow.thread as usize;
+            if self.launch_trace.len() >= 8192 {
+                self.launch_trace.pop_front();
+            }
+            self.launch_trace.push_back(thread as u32);
+            let payload = qp.packet.payload_bytes as u64;
+
+            // Step 2: fetch an Rx descriptor.
+            let Some(desc) = self.nic.queues[thread].ring.take() else {
+                self.nic.stats.drops_no_descriptor += 1;
+                if self.metrics.armed {
+                    self.metrics.drops_no_descriptor += 1;
+                }
+                continue;
+            };
+            assert!(self.credits.try_admit(self.pkt_credit_h, self.pkt_credit_d));
+
+            // Steps 3-5: translate descriptor fetch, payload write and
+            // completion write; all contribute IOTLB pressure. Ring
+            // accesses land on batched/prefetched (effectively random)
+            // pages of their structures.
+            let ring_bytes = self.cfg.nic.ring_entries as u64 * self.cfg.nic.desc_bytes;
+            let cq_bytes = self.cfg.nic.ring_entries as u64 * self.cfg.nic.cqe_bytes;
+            let mut cost = hostcc_iommu::TranslationCost::default();
+            let desc_off = self.ring_page_offset(thread, 0, ring_bytes);
+            let desc_iova = self.nic.queues[thread].ring.descriptor_iova(0).add(desc_off);
+            cost.add(
+                self.iommu
+                    .translate_range(desc_iova, self.cfg.nic.desc_bytes)
+                    .expect("descriptor mapped")
+                    .cost,
+            );
+            cost.add(
+                self.iommu
+                    .translate_range(desc.buffer, payload)
+                    .expect("buffer mapped")
+                    .cost,
+            );
+            let cq_off = self.ring_page_offset(thread, 1, cq_bytes);
+            self.nic.queues[thread].cq.push();
+            let cq_base = self.nic.queues[thread].ring.descriptor_iova(0).add(ring_bytes);
+            cost.add(
+                self.iommu
+                    .translate_range(cq_base.add(cq_off), self.cfg.nic.cqe_bytes)
+                    .expect("cq mapped")
+                    .cost,
+            );
+
+            if self.metrics.armed {
+                self.metrics.iotlb_lookups += cost.iotlb_lookups as u64;
+                self.metrics.iotlb_misses += cost.iotlb_misses as u64;
+                self.metrics.walk_memory_accesses += cost.walk_memory_accesses as u64;
+            }
+            self.window_walks += cost.walk_memory_accesses as u64;
+
+            // Pipeline: PCIe serialisation, then the memory-bus stage at
+            // the NIC's currently-available bandwidth; fixed base latency,
+            // serialized page walks and the commit latency ride on top and
+            // hold the credits (Little's law).
+            let pcie_done = self
+                .pcie_pipe
+                .transmit(now, self.cfg.pcie.wire_bytes_for(payload));
+            // Only the DDIO-leaked share of the write stream occupies the
+            // DRAM bus; the rest coalesces in the LLC slice.
+            let leaked_bytes = (payload as f64 * self.ddio_leak) as u64;
+            let mem_done = self.mem_pipe.transmit(pcie_done, leaked_bytes);
+            let walk_ns =
+                cost.walk_memory_accesses as f64 * self.walk_access_latency_ns();
+            // Commit latency: DRAM round-trip for leaked lines, LLC hit
+            // for absorbed ones.
+            let commit_ns = self.ddio_leak * self.mem.access_latency_ns()
+                + (1.0 - self.ddio_leak) * self.cfg.llc_latency_ns;
+            let mut done = mem_done
+                + self.cfg.dma_base_latency
+                + SimDuration::from_nanos(walk_ns as u64)
+                + SimDuration::from_nanos(commit_ns as u64)
+                + SimDuration::from_nanos(cost.lookup_ns);
+            if self.cfg.strict_iommu && self.iommu.is_enabled() {
+                // Strict mode: the walker interleaves invalidation
+                // commands with translations.
+                done = done + self.cfg.invalidation_dma_stall;
+            }
+            if self.cfg.model_dma_read_latency {
+                // No descriptor prefetch: the descriptor-fetch DMA read's
+                // full PCIe round trip gates the payload write.
+                let rt = hostcc_pcie::read_round_trip_ns(
+                    &self.cfg.pcie,
+                    &self.cfg.read_channel,
+                    self.cfg.nic.desc_bytes,
+                    250.0,
+                    self.mem.access_latency_ns(),
+                );
+                done = done + SimDuration::from_nanos(rt as u64);
+            }
+
+            sched.at(
+                done,
+                Event::DmaComplete(DmaJob {
+                    pkt: qp.packet,
+                    nic_arrival: qp.arrived,
+                    buffer: desc.buffer,
+                    thread: thread as u32,
+                    credit_h: self.pkt_credit_h,
+                    credit_d: self.pkt_credit_d,
+                }),
+            );
+        }
+    }
+
+    fn handle_dma_complete(&mut self, now: SimTime, job: DmaJob, sched: &mut Scheduler<Event>) {
+        self.credits.release(job.credit_h, job.credit_d);
+        sched.immediately(Event::DmaLaunch);
+        self.window_payload += job.pkt.payload_bytes as u64;
+
+        // Step 7: a dedicated receiver core processes the packet (strict
+        // IOMMU mode adds the unmap/invalidate work to the per-packet
+        // cost).
+        let t = job.thread as usize;
+        let start = now.max(self.core_free_at[t]);
+        let mut per_pkt = self.cfg.core_pkt_cost;
+        if self.cfg.strict_iommu {
+            per_pkt += self.cfg.invalidation_cost;
+        }
+        let done = start + per_pkt;
+        self.core_free_at[t] = done;
+        sched.at(done, Event::CpuDone(job));
+    }
+
+    fn handle_cpu_done(&mut self, now: SimTime, job: DmaJob, sched: &mut Scheduler<Event>) {
+        let f = self.flow_index(job.pkt.flow) as usize;
+        let t = job.thread as usize;
+
+        let (ack_seq, fresh) = self.recv_flows[f].on_data_detailed(job.pkt.seq);
+        if fresh {
+            self.nic.stats.delivered_packets += 1;
+            self.nic.stats.delivered_payload_bytes += job.pkt.payload_bytes as u64;
+            if self.metrics.armed {
+                self.metrics.delivered_packets += 1;
+                self.metrics.delivered_payload_bytes += job.pkt.payload_bytes as u64;
+            }
+        }
+        // Closed-loop RPC: completed reads issue new ones.
+        let in_order = self.recv_flows[f].delivered_packets();
+        let prev = self.rpc[f].delivered_packets();
+        if in_order > prev {
+            self.rpc[f].on_delivered(in_order - prev);
+        }
+
+        // Strict IOMMU mode: the driver unmaps the consumed buffer, which
+        // invalidates its IOTLB entry — the next DMA to this page walks.
+        if self.cfg.strict_iommu && self.iommu.is_enabled() {
+            self.iommu.invalidate_page(job.buffer, self.cfg.data_page);
+        }
+        // Free the buffer and replenish the descriptor ring.
+        self.pools[t].free(job.buffer);
+        if self.nic.queues[t].ring.free_slots() > 0 {
+            if let Some(b) = self.pools[t].alloc() {
+                self.nic.queues[t].ring.post(b);
+            }
+        }
+
+        // Host delay: NIC arrival -> stack processing done.
+        let host_delay = now.saturating_since(job.nic_arrival);
+        if self.metrics.armed {
+            self.metrics.host_delay.record(host_delay.as_nanos());
+        }
+
+        // ACK: the NIC DMA-reads the ACK from the thread's TX/ACK pool,
+        // which cycles through its pages (one more IOTLB access per packet
+        // over a multi-page working set).
+        let ack_off =
+            self.ring_page_offset(t, 2, self.cfg.ack_pool_pages.max(1) as u64 * 4096);
+        let ack_cost = self
+            .iommu
+            .translate_range(
+                self.nic.queues[t].ack_buffer.add(ack_off),
+                self.cfg.wire.ack_wire_bytes as u64,
+            )
+            .expect("ack buffer mapped")
+            .cost;
+        if self.metrics.armed {
+            self.metrics.iotlb_lookups += ack_cost.iotlb_lookups as u64;
+            self.metrics.iotlb_misses += ack_cost.iotlb_misses as u64;
+            self.metrics.walk_memory_accesses += ack_cost.walk_memory_accesses as u64;
+        }
+        self.window_walks += ack_cost.walk_memory_accesses as u64;
+
+        let mut ack = self.cfg.wire.ack_packet(&job.pkt, ack_seq, host_delay);
+        // Echo the freshest host-congestion signal: the NIC input-buffer
+        // occupancy at ACK-generation time (hardware telemetry a
+        // host-aware protocol could read; §4's new congestion signal).
+        ack.nic_buffer_frac = self.nic.input.occupancy_bytes() as f64
+            / self.nic.input.capacity_bytes() as f64;
+        let frontier = self.rpc[f].data_frontier();
+        // Return path: receiver uplink + switch + sender downlink are all
+        // uncontended; charge propagation + a small fixed processing cost
+        // + jitter (engine scheduling noise, ACK coalescing variance).
+        let jitter =
+            SimDuration::from_nanos(self.rng.next_below(self.cfg.ack_jitter.as_nanos().max(1)));
+        let back = self.cfg.hop_propagation * 2 + SimDuration::from_micros(1) + jitter;
+        sched.after(
+            back,
+            Event::AckToSender {
+                flow: f as u32,
+                ack,
+                frontier,
+            },
+        );
+    }
+
+    fn handle_ack(
+        &mut self,
+        now: SimTime,
+        f: u32,
+        ack: Packet,
+        frontier: u64,
+        sched: &mut Scheduler<Event>,
+    ) {
+        if self.metrics.armed {
+            let rtt = now.saturating_since(ack.sent_at);
+            self.metrics.rtt.record(rtt.as_nanos());
+        }
+        let flow = &mut self.flows[f as usize];
+        flow.on_ack(
+            now,
+            ack.seq,
+            ack.sent_at,
+            ack.host_delay_echo,
+            ack.ecn_ce,
+            ack.nic_buffer_frac,
+        );
+        flow.set_data_frontier(frontier);
+        sched.immediately(Event::TrySend(f));
+    }
+
+    fn handle_rto_sweep(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        for f in 0..self.flows.len() {
+            if self.flows[f].check_timeout(now) {
+                sched.immediately(Event::TrySend(f as u32));
+            }
+        }
+        sched.after(self.cfg.rto_sweep, Event::RtoSweep);
+    }
+
+    fn handle_mem_tick(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        let dt = now.saturating_since(self.last_tick).as_secs_f64();
+        if dt > 0.0 {
+            // Measured NIC traffic: payload writes + page-walk reads (64 B
+            // lines). The *demand* registered with the controller is
+            // anchored at the NIC's line-rate potential: a hardware DMA
+            // engine keeps issuing at its credit-limited pace regardless of
+            // recent goodput, and anchoring prevents a measured-demand
+            // death spiral (delivered rate dips -> controller hands the
+            // antagonist more -> rate dips further).
+            // DDIO: the fraction of DMA writes (and of the application's
+            // copy reads) that actually reach DRAM depends on whether the
+            // buffer working set fits the LLC slice.
+            let hot_ws: u64 = self.pools.iter().map(|p| p.hot_set_bytes()).sum();
+            let ddio_write = self.cfg.ddio.write_traffic_factor(hot_ws);
+            let ddio_leak = self.cfg.ddio.leak_fraction(hot_ws);
+            self.ddio_leak = ddio_leak;
+            let nic_rate = (self.window_payload as f64 * ddio_write
+                + self.window_walks as f64 * 64.0)
+                / dt;
+            let app_rate = self.window_payload as f64
+                * self.cfg.app_copy_read_fraction
+                * ddio_leak
+                / dt;
+            self.nic_demand.record(nic_rate);
+            self.app_demand.record(app_rate);
+            let nic_potential = (self.cfg.access_link_bps / 8.0).max(self.nic_demand.get());
+            self.mem.set_demand(self.nic_agent, nic_potential);
+            self.mem.set_demand(self.app_agent, self.app_demand.get());
+
+            // The memory stage of the DMA pipeline drains at whatever the
+            // bus leaves for the NIC after CPU-class agents take their
+            // (weighted) shares: an idle bus gives DMA its full burst
+            // bandwidth, a saturated one squeezes it toward its protected
+            // share.
+            let capacity = self.cfg.memsys.achievable_bytes_per_sec();
+            let cpu_alloc = self.antagonist.achieved(&mut self.mem)
+                + self.mem.allocation(self.app_agent);
+            let nic_avail = (capacity - cpu_alloc).max(2e9);
+            self.mem_pipe.set_rate(now, nic_avail);
+
+            if self.metrics.armed {
+                // Report *measured* traffic (Fig. 6 top panel), not the
+                // anchored potential.
+                let cpu_side = self.antagonist.achieved(&mut self.mem)
+                    + self.mem.allocation(self.app_agent);
+                self.metrics.mem_bw_sum += cpu_side + self.nic_demand.get();
+                self.metrics.nic_bw_sum += nic_avail;
+                self.metrics.mem_bw_samples += 1;
+                let since = now.saturating_since(self.metrics.started).as_nanos();
+                self.metrics
+                    .occupancy_samples
+                    .push((since, self.nic.input.occupancy_bytes()));
+                self.switch_backlog_sum += self.switch.backlog_delay(now).as_micros_f64();
+                self.link_backlog_sum += self
+                    .sender_links
+                    .iter()
+                    .map(|l| l.free_at().saturating_since(now).as_micros_f64())
+                    .sum::<f64>()
+                    / self.sender_links.len() as f64;
+                self.backlog_samples += 1;
+            }
+        }
+        self.window_payload = 0;
+        self.window_walks = 0;
+        self.last_tick = now;
+        sched.after(self.cfg.mem_tick, Event::MemTick);
+    }
+}
+
+impl World for Testbed {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        match event {
+            Event::TrySend(f) => self.handle_try_send(now, f, sched),
+            Event::AtSwitch(p) => self.handle_at_switch(now, p, sched),
+            Event::AtNic(p) => self.handle_at_nic(now, p, sched),
+            Event::DmaLaunch => self.handle_dma_launch(now, sched),
+            Event::DmaComplete(j) => self.handle_dma_complete(now, j, sched),
+            Event::CpuDone(j) => self.handle_cpu_done(now, j, sched),
+            Event::AckToSender { flow, ack, frontier } => {
+                self.handle_ack(now, flow, ack, frontier, sched)
+            }
+            Event::RtoSweep => self.handle_rto_sweep(now, sched),
+            Event::MemTick => self.handle_mem_tick(now, sched),
+        }
+    }
+}
+
+/// A ready-to-run simulation: the engine plus its started world.
+pub struct Simulation {
+    engine: Engine<Testbed>,
+}
+
+impl Simulation {
+    /// Build and start a testbed simulation.
+    pub fn new(cfg: TestbedConfig) -> Self {
+        let mut engine = Engine::new(Testbed::new(cfg));
+        let Engine { world, sched, .. } = &mut engine;
+        world.start(sched);
+        Simulation { engine }
+    }
+
+    /// Direct access to the world (inspection in tests/harnesses).
+    pub fn world(&self) -> &Testbed {
+        &self.engine.world
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Run `warmup` of simulated time to reach steady state, then measure
+    /// for `measure` and return the metrics.
+    pub fn run(&mut self, warmup: SimDuration, measure: SimDuration) -> RunMetrics {
+        let t0 = self.engine.now();
+        self.engine.run_until(t0 + warmup);
+        let t1 = self.engine.now();
+        self.engine.world.arm_metrics(t1);
+        self.engine.run_until(t1 + measure);
+        let t2 = self.engine.now();
+        self.engine.world.snapshot(t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TestbedConfig {
+        TestbedConfig {
+            senders: 4,
+            receiver_threads: 2,
+            ..TestbedConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_moves_data() {
+        let mut sim = Simulation::new(small_cfg());
+        let m = sim.run(
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+        );
+        assert!(m.delivered_packets > 100, "packets {}", m.delivered_packets);
+        assert!(m.app_throughput_gbps() > 1.0, "tp {}", m.app_throughput_gbps());
+        assert!(m.drops_fabric == 0 || m.drops_fabric < m.delivered_packets / 100);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = Simulation::new(small_cfg());
+            let m = sim.run(SimDuration::from_millis(1), SimDuration::from_millis(3));
+            (
+                m.delivered_packets,
+                m.delivered_payload_bytes,
+                m.host_drops(),
+                m.iotlb_misses,
+            )
+        };
+        assert_eq!(run(), run(), "same seed must give identical results");
+    }
+
+    #[test]
+    fn two_receiver_cores_are_cpu_bound() {
+        // With 2 cores at 2.85us/pkt the ceiling is ~2*0.35M pkts/s
+        // = ~23 Gbps; the CPU (not the link) must be the bottleneck.
+        let mut sim = Simulation::new(TestbedConfig {
+            senders: 8,
+            receiver_threads: 2,
+            ..TestbedConfig::default()
+        });
+        let m = sim.run(SimDuration::from_millis(10), SimDuration::from_millis(20));
+        let tp = m.app_throughput_gbps();
+        assert!(
+            (14.0..26.0).contains(&tp),
+            "2 cores should deliver ~20-23 Gbps, got {tp}"
+        );
+    }
+
+    #[test]
+    fn iommu_off_beats_iommu_on_at_many_cores() {
+        let mk = |enabled: bool| {
+            let mut cfg = TestbedConfig {
+                receiver_threads: 14,
+                ..TestbedConfig::default()
+            };
+            cfg.iommu.enabled = enabled;
+            let mut sim = Simulation::new(cfg);
+            sim.run(SimDuration::from_millis(10), SimDuration::from_millis(20))
+        };
+        let off = mk(false);
+        let on = mk(true);
+        assert_eq!(on.iotlb_misses_per_packet() > 0.5, true,
+            "misses/pkt {}", on.iotlb_misses_per_packet());
+        assert!(off.iotlb_misses == 0);
+        assert!(
+            off.app_throughput_gbps() > on.app_throughput_gbps(),
+            "off {} should beat on {}",
+            off.app_throughput_gbps(),
+            on.app_throughput_gbps()
+        );
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn calib() {
+        for threads in [6u32, 8, 10, 12, 14, 16] {
+            for (ai, rto_us, ways) in [(0.25, 1000u64, 128usize), (0.15, 1000, 128)] {
+                let on = true;
+                let mut cfg = TestbedConfig {
+                    receiver_threads: threads,
+                    ..TestbedConfig::default()
+                };
+                cfg.iommu.enabled = on;
+                cfg.iommu.iotlb_ways = ways;
+                cfg.flow.rto_floor = SimDuration::from_micros(rto_us);
+                if let crate::config::CcKind::Swift(ref mut sc) = cfg.cc {
+                    sc.ai = ai;
+                }
+                let _ = ai;
+                let mut sim = Simulation::new(cfg);
+                let m = sim.run(SimDuration::from_millis(25), SimDuration::from_millis(25));
+                let (mut fd, mut ed, mut lo) = (0u64, 0u64, 0u64);
+                for f in &sim.world().flows {
+                    if let Some((a, b, c)) = f.cc().decrease_stats() {
+                        fd += a; ed += b; lo += c;
+                    }
+                }
+                let w = sim.world();
+                let sb = w.switch_backlog_sum / w.backlog_samples.max(1) as f64;
+                let lb = w.link_backlog_sum / w.backlog_samples.max(1) as f64;
+                println!(
+                    "swq={sb:6.1}us lnkq={lb:6.1}us fabdec={fd} enddec={ed} losses={lo} rtt p50={:5.1} p99={:6.1} thr={threads:2} ai={ai:4.2} rto={rto_us:4} ways={ways} iommu={} tp={:6.2} drop={:6.3}% m/pkt={:5.2} hostd p50={:6.1} p99={:6.1} cwnd={:5.2} rtx={:6} to={:4} peak={:7}",
+                    m.rtt.p50() as f64 / 1000.0,
+                    m.rtt.p99() as f64 / 1000.0,
+                    on as u8,
+                    m.app_throughput_gbps(),
+                    m.drop_rate() * 100.0,
+                    m.iotlb_misses_per_packet(),
+                    m.host_delay_p50_us(),
+                    m.host_delay_p99_us(),
+                    m.mean_cwnd,
+                    m.retransmits,
+                    m.timeouts,
+                    m.nic_buffer_peak_bytes,
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn trace_pattern() {
+        let mut cfg = TestbedConfig {
+            receiver_threads: 16,
+            ..TestbedConfig::default()
+        };
+        cfg.iommu.iotlb_ways = 128;
+        let mut sim = Simulation::new(cfg);
+        sim.run(SimDuration::from_millis(40), SimDuration::from_millis(5));
+        {
+            let w = sim.world();
+            let threads = w.cfg.receiver_threads as usize;
+            let mut cw = vec![0.0f64; threads];
+            let mut cnt = vec![0u32; threads];
+            for (i, f) in w.flows.iter().enumerate() {
+                let t = w.flow_ids[i].thread as usize;
+                cw[t] += f.cwnd();
+                cnt[t] += 1;
+            }
+            let per: Vec<String> = (0..threads).map(|t| format!("{:.2}", cw[t]/cnt[t] as f64)).collect();
+            println!("mean cwnd per thread: {:?}", per);
+        }
+        let trace: Vec<u32> = sim.world().launch_trace.iter().copied().collect();
+        // Run lengths.
+        let mut runs = vec![];
+        let mut cur = 1;
+        for w in trace.windows(2) {
+            if w[0] == w[1] { cur += 1; } else { runs.push(cur); cur = 1; }
+        }
+        runs.push(cur);
+        let mean_run = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        // Mean gap between same-thread occurrences.
+        let mut last = std::collections::HashMap::new();
+        let mut gaps = vec![];
+        for (i, &t) in trace.iter().enumerate() {
+            if let Some(&p) = last.get(&t) { gaps.push(i - p); }
+            last.insert(t, i);
+        }
+        gaps.sort();
+        println!(
+            "trace len={} mean_run={:.2} gap p50={} p90={} p99={}",
+            trace.len(), mean_run,
+            gaps[gaps.len()/2], gaps[gaps.len()*9/10], gaps[gaps.len()*99/100]
+        );
+        // Per-thread share balance.
+        let mut counts = [0u32; 16];
+        for &t in &trace { counts[t as usize] += 1; }
+        println!("thread counts: {:?}", counts);
+    }
+
+    #[test]
+    #[ignore]
+    fn fig6() {
+        for on in [false, true] {
+            for cores in [0u32, 1, 2, 4, 6, 8, 10, 12, 14, 15] {
+                let mut cfg = TestbedConfig {
+                    receiver_threads: 12,
+                    antagonist_cores: cores,
+                    ..TestbedConfig::default()
+                };
+                cfg.iommu.enabled = on;
+                let mut sim = Simulation::new(cfg);
+                let m = sim.run(SimDuration::from_millis(25), SimDuration::from_millis(25));
+                println!(
+                    "iommu={} antag={cores:2} tp={:6.2} drop={:6.3}% membw={:6.1} GB/s nicbw={:5.1} m/pkt={:4.2} hostd p50={:6.1}",
+                    on as u8,
+                    m.app_throughput_gbps(),
+                    m.drop_rate() * 100.0,
+                    m.memory_bandwidth_gbytes(),
+                    m.mean_nic_memory_bandwidth / 1e9,
+                    m.iotlb_misses_per_packet(),
+                    m.host_delay_p50_us(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn print_sweep() {
+        for threads in [2u32, 6, 8, 10, 12, 14, 16] {
+            for enabled in [false, true] {
+                let mut cfg = TestbedConfig {
+                    receiver_threads: threads,
+                    ..TestbedConfig::default()
+                };
+                cfg.iommu.enabled = enabled;
+                let mut sim = Simulation::new(cfg);
+                let m = sim.run(SimDuration::from_millis(15), SimDuration::from_millis(25));
+                println!(
+                    "threads={threads:2} iommu={} tp={:6.2} Gbps drop={:5.3}% m/pkt={:5.2} walks/pkt={:5.2} hostdelay p50={:6.1}us p99={:6.1}us cwnd={:5.2} peakbuf={:7} rtx={}",
+                    enabled as u8,
+                    m.app_throughput_gbps(),
+                    m.drop_rate() * 100.0,
+                    m.iotlb_misses_per_packet(),
+                    m.walk_memory_accesses as f64 / m.delivered_packets.max(1) as f64,
+                    m.host_delay_p50_us(),
+                    m.host_delay_p99_us(),
+                    m.mean_cwnd,
+                    m.nic_buffer_peak_bytes,
+                    m.retransmits,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Page-walk cache (PWC).
+//!
+//! Real IOMMUs cache intermediate page-table entries so that an IOTLB miss
+//! does not always cost a full multi-level walk — the paper notes a miss
+//! "can trigger one or more memory accesses (depending on what page entry
+//! level was already cached)". We model a PWC that caches the *path* down
+//! to the page-directory level: a PWC hit leaves only the leaf level(s) to
+//! fetch from memory.
+
+use std::collections::HashMap;
+
+/// LRU cache of intermediate walk paths, keyed by the covered region.
+///
+/// For a 4 KiB leaf the key is the 2 MiB-aligned region (the PD entry that
+/// points at the PT); for a 2 MiB leaf it is the 1 GiB-aligned region (the
+/// PDPT entry that points at the PD).
+#[derive(Debug)]
+pub struct WalkCache {
+    capacity: usize,
+    // key -> last-used stamp
+    entries: HashMap<u64, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl WalkCache {
+    /// A PWC with `capacity` entries; capacity 0 disables the cache.
+    pub fn new(capacity: usize) -> Self {
+        WalkCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether the cache is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up the walk path for `key`; inserts on miss. Returns hit/miss.
+    pub fn access(&mut self, key: u64) -> bool {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return false;
+        }
+        self.clock += 1;
+        if let Some(stamp) = self.entries.get_mut(&key) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used key. Linear scan is fine: PWCs
+            // are tiny (tens of entries) and only misses pay this cost.
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(key, self.clock);
+        false
+    }
+
+    /// Drop all cached paths.
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Current number of cached paths.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = WalkCache::new(0);
+        assert!(!c.access(1));
+        assert!(!c.access(1));
+        assert_eq!(c.stats(), (0, 2));
+        assert!(!c.is_enabled());
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = WalkCache::new(4);
+        assert!(!c.access(10));
+        assert!(c.access(10));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = WalkCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        c.access(3); // evicts 2
+        assert!(c.access(1), "1 was hot");
+        assert!(!c.access(2), "2 was evicted");
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = WalkCache::new(4);
+        c.access(1);
+        c.invalidate_all();
+        assert!(!c.access(1));
+        assert_eq!(c.occupancy(), 1);
+    }
+}

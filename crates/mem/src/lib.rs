@@ -1,0 +1,22 @@
+//! # hostcc-mem
+//!
+//! Address-space substrate for the host-interconnect congestion simulator:
+//! address newtypes and page geometry, an x86-style 4-level I/O page table
+//! (what the IOMMU walks on an IOTLB miss), registered-region bookkeeping
+//! (loose-mode IOMMU registration, as in the paper's SNAP setup) and Rx
+//! buffer pools (whose recycling order shapes DMA address locality).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod page_table;
+mod pool;
+mod region;
+
+pub use addr::{align_down, align_up, pages_touched, Iova, PageSize, PhysAddr};
+pub use page_table::{Fault, IoPageTable, MapError, Translation};
+pub use pool::{RecycleOrder, RxBufferPool};
+pub use region::{
+    IovaAllocator, MemoryRegion, PhysAllocator, RegionError, RegionId, RegionRegistry,
+};

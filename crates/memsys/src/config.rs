@@ -1,0 +1,80 @@
+//! Memory-subsystem configuration.
+
+/// DDR channel and controller parameters for one NUMA node.
+///
+/// Defaults reproduce the paper's testbed: 6 DDR4-2400 channels per NUMA
+/// node → 115.2 GB/s theoretical, ~90 GB/s achievable by STREAM.
+#[derive(Debug, Clone)]
+pub struct MemSysConfig {
+    /// Number of DDR channels attached to this NUMA node.
+    pub channels: u32,
+    /// Data rate per channel in mega-transfers/sec (DDR4-2400 → 2400).
+    pub channel_mts: f64,
+    /// Bus width per channel in bytes (DDR4 → 8).
+    pub channel_width_bytes: u32,
+    /// Fraction of theoretical bandwidth that is practically achievable
+    /// (row misses, refresh, turnarounds). STREAM reaches ~90/115.2 ≈ 0.78.
+    pub achievable_fraction: f64,
+    /// Unloaded DRAM access latency, nanoseconds.
+    pub base_latency_ns: f64,
+    /// Centre of the logistic load-latency ramp, in offered-utilisation
+    /// units (slightly past 1.0: banking and write buffers absorb mild
+    /// transient oversubscription).
+    pub latency_ramp_center: f64,
+    /// Width of the logistic load-latency ramp (in units of offered
+    /// utilisation); smaller = sharper knee.
+    pub latency_ramp_width: f64,
+    /// Latency inflation factor approached under deep oversubscription
+    /// (measured DRAM loaded latencies plateau at several hundred ns,
+    /// i.e. single-digit multiples of the unloaded latency).
+    pub max_latency_factor: f64,
+    /// Arbitration weight of CPU-originated traffic relative to NIC DMA
+    /// (> 1: CPUs acquire a larger share under contention, the §3.2
+    /// observation about FCFS controllers favouring the many-threaded CPU).
+    pub cpu_weight: f64,
+}
+
+impl Default for MemSysConfig {
+    fn default() -> Self {
+        MemSysConfig {
+            channels: 6,
+            channel_mts: 2400.0,
+            channel_width_bytes: 8,
+            achievable_fraction: 0.78,
+            base_latency_ns: 90.0,
+            latency_ramp_center: 1.15,
+            latency_ramp_width: 0.15,
+            max_latency_factor: 9.5,
+            cpu_weight: 2.0,
+        }
+    }
+}
+
+impl MemSysConfig {
+    /// Theoretical peak bandwidth in bytes/sec (115.2 GB/s for defaults).
+    pub fn theoretical_bytes_per_sec(&self) -> f64 {
+        self.channels as f64 * self.channel_mts * 1e6 * self.channel_width_bytes as f64
+    }
+
+    /// Practically achievable bandwidth in bytes/sec (~90 GB/s default).
+    pub fn achievable_bytes_per_sec(&self) -> f64 {
+        self.theoretical_bytes_per_sec() * self.achievable_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_testbed() {
+        let c = MemSysConfig::default();
+        let theo = c.theoretical_bytes_per_sec();
+        assert!((theo - 115.2e9).abs() < 1e6, "theoretical {theo}");
+        let ach = c.achievable_bytes_per_sec();
+        assert!(
+            (85e9..95e9).contains(&ach),
+            "achievable {ach} should be ~90 GB/s"
+        );
+    }
+}

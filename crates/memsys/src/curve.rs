@@ -1,0 +1,109 @@
+//! The load-latency curve of a closed-loop memory system.
+//!
+//! §3.2: "as the offered load to the memory bus reaches closer to the
+//! maximum achievable memory bandwidth, similar to any load-latency curve
+//! for a closed-loop system, the service times for PCIe write requests will
+//! also increase." Queueing-theoretic 1/(1-ρ) forms blow up discontinuously
+//! the moment offered load crosses capacity, which no real memory
+//! controller exhibits (row buffers, bank parallelism and arbitration
+//! smooth the transition); measured DRAM load-latency curves ramp smoothly
+//! from the unloaded latency to a few-hundred-ns plateau. We model that
+//! with a logistic ramp centred slightly past saturation (mild transient
+//! oversubscription is absorbed by banking and write buffers):
+//! `factor(ρ) = 1 + (max-1) / (1 + exp(-(ρ - center)/width))`.
+
+/// Utilisation-dependent latency model.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadLatencyCurve {
+    /// Unloaded latency, nanoseconds.
+    pub base_ns: f64,
+    /// Centre of the logistic ramp (offered-utilisation units).
+    pub center: f64,
+    /// Width of the logistic ramp around the centre (in units of ρ).
+    pub width: f64,
+    /// Latency inflation factor approached under deep oversubscription.
+    pub max_factor: f64,
+}
+
+impl LoadLatencyCurve {
+    /// Latency in nanoseconds at offered load `rho` (1.0 = offered load
+    /// equals achievable bandwidth; values above 1 are meaningful and
+    /// push latency toward the plateau).
+    pub fn latency_ns(&self, rho: f64) -> f64 {
+        self.base_ns * self.factor(rho)
+    }
+
+    /// Inflation factor relative to the unloaded latency.
+    pub fn factor(&self, rho: f64) -> f64 {
+        let rho = rho.max(0.0);
+        let ramp = 1.0 / (1.0 + (-(rho - self.center) / self.width).exp());
+        1.0 + (self.max_factor - 1.0) * ramp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> LoadLatencyCurve {
+        LoadLatencyCurve {
+            base_ns: 90.0,
+            center: 1.15,
+            width: 0.15,
+            max_factor: 9.5,
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_is_near_base() {
+        let l = curve().latency_ns(0.0);
+        assert!((l - 90.0).abs() < 1.0, "unloaded {l} should be ~base");
+    }
+
+    #[test]
+    fn latency_is_monotone_in_load() {
+        let c = curve();
+        let mut last = 0.0;
+        for i in 0..=300 {
+            let l = c.latency_ns(i as f64 / 200.0);
+            assert!(l >= last, "latency must not decrease with load");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn moderate_load_barely_inflates() {
+        let c = curve();
+        assert!(c.factor(0.3) < 1.05, "factor at rho=0.3: {}", c.factor(0.3));
+        assert!(c.factor(0.5) < 1.12, "factor at rho=0.5: {}", c.factor(0.5));
+        assert!(c.factor(0.7) < 1.5, "factor at rho=0.7: {}", c.factor(0.7));
+    }
+
+    #[test]
+    fn saturation_ramps_smoothly_to_plateau() {
+        let c = curve();
+        // At the ramp centre: halfway up.
+        let mid = 1.0 + (c.max_factor - 1.0) / 2.0;
+        assert!((c.factor(c.center) - mid).abs() < 1e-9);
+        // Mild oversubscription inflates but does not saturate.
+        assert!(c.factor(1.05) > 1.5);
+        assert!(c.factor(1.05) < 0.6 * c.max_factor);
+        // Deep oversubscription approaches (never exceeds) the plateau.
+        assert!(c.factor(2.5) > 0.95 * c.max_factor);
+        assert!(c.factor(10.0) <= c.max_factor + 1e-9);
+        // The transition is smooth: no more than ~25% of the ramp within
+        // any 0.05-rho step near the knee.
+        for i in 0..40 {
+            let r = 0.8 + i as f64 * 0.05;
+            let step = c.factor(r + 0.05) - c.factor(r);
+            assert!(step < 0.25 * (c.max_factor - 1.0), "cliff at rho={r}");
+        }
+    }
+
+    #[test]
+    fn negative_load_clamped() {
+        let c = curve();
+        assert!(c.factor(-1.0) >= 1.0);
+        assert!(c.factor(-1.0) <= c.factor(0.0));
+    }
+}

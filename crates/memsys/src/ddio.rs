@@ -1,0 +1,115 @@
+//! Direct cache access (Intel DDIO) modelling.
+//!
+//! Footnote 2 of the paper: "If Direct Cache Access (e.g., DDIO) is
+//! enabled, data is first moved to the CPU cache; this may result in
+//! eviction of existing cache contents to the host memory over the same
+//! memory bus." DDIO steers DMA writes into a small slice of the LLC
+//! (typically two ways, a few MiB). Whether that *saves* memory-bus
+//! bandwidth depends entirely on buffer reuse: if the driver's receive
+//! buffers cycle through a working set larger than the DDIO slice, every
+//! written line is evicted to DRAM before the CPU (or the next DMA)
+//! touches it again — "leaky DMA" — and the bus sees the full write
+//! stream anyway, plus collateral evictions of application cache lines.
+//! Only a *hot*, small buffer pool (e.g. on-NIC memory or aggressive
+//! buffer reuse) lets DDIO absorb the traffic.
+
+/// DDIO configuration.
+#[derive(Debug, Clone)]
+pub struct DdioConfig {
+    /// Whether direct cache access is enabled (Intel platforms: default on).
+    pub enabled: bool,
+    /// Capacity of the LLC slice DDIO may allocate into, bytes
+    /// (typically 2 of 11 ways of a ~30-40 MiB LLC ≈ a few MiB).
+    pub capacity_bytes: u64,
+    /// Extra bus traffic per leaked byte from collateral evictions of
+    /// application cache lines (0.0 = evictions displace only dead lines).
+    pub collateral_factor: f64,
+}
+
+impl Default for DdioConfig {
+    fn default() -> Self {
+        DdioConfig {
+            enabled: true,
+            capacity_bytes: 4 << 20,
+            collateral_factor: 0.0,
+        }
+    }
+}
+
+impl DdioConfig {
+    /// Fraction of DMA-written bytes that reach DRAM, given the buffer
+    /// working set the DMA stream cycles through.
+    ///
+    /// * DDIO disabled: everything goes to memory (1.0).
+    /// * Working set within the DDIO slice: writes coalesce in cache (0.0).
+    /// * Larger: `1 - capacity/ws` of lines are evicted before reuse.
+    pub fn leak_fraction(&self, working_set_bytes: u64) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        if working_set_bytes <= self.capacity_bytes {
+            return 0.0;
+        }
+        1.0 - self.capacity_bytes as f64 / working_set_bytes as f64
+    }
+
+    /// Multiplier on the DMA write stream's memory-bus demand, including
+    /// collateral evictions.
+    pub fn write_traffic_factor(&self, working_set_bytes: u64) -> f64 {
+        let leak = self.leak_fraction(working_set_bytes);
+        leak * (1.0 + self.collateral_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ddio_passes_everything_to_memory() {
+        let d = DdioConfig {
+            enabled: false,
+            ..Default::default()
+        };
+        assert_eq!(d.leak_fraction(1), 1.0);
+        assert_eq!(d.leak_fraction(1 << 30), 1.0);
+    }
+
+    #[test]
+    fn hot_working_set_is_absorbed() {
+        let d = DdioConfig::default();
+        assert_eq!(d.leak_fraction(1 << 20), 0.0, "1 MiB fits the slice");
+        assert_eq!(d.leak_fraction(4 << 20), 0.0, "exactly the slice");
+    }
+
+    #[test]
+    fn large_working_set_leaks_almost_everything() {
+        let d = DdioConfig::default();
+        // The paper's testbed: 12 threads x 12 MiB of cycling buffers.
+        let leak = d.leak_fraction(144 << 20);
+        assert!(leak > 0.95, "144 MiB working set must leak: {leak}");
+    }
+
+    #[test]
+    fn leak_grows_monotonically_with_working_set() {
+        let d = DdioConfig::default();
+        let mut last = 0.0;
+        for mib in [1u64, 4, 8, 16, 64, 256] {
+            let leak = d.leak_fraction(mib << 20);
+            assert!(leak >= last);
+            last = leak;
+        }
+        assert!(last < 1.0, "leak approaches but never reaches 1");
+    }
+
+    #[test]
+    fn collateral_inflates_write_traffic() {
+        let d = DdioConfig {
+            collateral_factor: 0.5,
+            ..Default::default()
+        };
+        let f = d.write_traffic_factor(144 << 20);
+        let leak = d.leak_fraction(144 << 20);
+        assert!((f - leak * 1.5).abs() < 1e-12);
+    }
+}

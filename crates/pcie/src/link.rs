@@ -1,0 +1,226 @@
+//! PCIe link bandwidth and transaction-layer overhead accounting.
+//!
+//! The paper's testbed pairs a 100 Gbps NIC with PCIe 3.0 x16 — nominally
+//! 128 Gbps, but only ~110 Gbps of *goodput* once transaction-layer packet
+//! (TLP) headers, framing and data-link-layer packets (DLLPs) are paid
+//! (§3.1, citing Neugebauer et al.). That thin headroom is why modest
+//! increases in per-DMA latency immediately turn into NIC buffer build-up.
+
+/// PCIe generation: per-lane line rate and line encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// 2.5 GT/s, 8b/10b encoding.
+    Gen1,
+    /// 5.0 GT/s, 8b/10b encoding.
+    Gen2,
+    /// 8.0 GT/s, 128b/130b encoding (the paper's testbed).
+    Gen3,
+    /// 16.0 GT/s, 128b/130b encoding.
+    Gen4,
+    /// 32.0 GT/s, 128b/130b encoding.
+    Gen5,
+}
+
+impl PcieGen {
+    /// Raw line rate per lane in transfers/sec (== bits/sec on the wire).
+    pub fn raw_gt_per_sec(self) -> f64 {
+        match self {
+            PcieGen::Gen1 => 2.5e9,
+            PcieGen::Gen2 => 5.0e9,
+            PcieGen::Gen3 => 8.0e9,
+            PcieGen::Gen4 => 16.0e9,
+            PcieGen::Gen5 => 32.0e9,
+        }
+    }
+
+    /// Fraction of raw bits carrying data after line encoding.
+    pub fn encoding_efficiency(self) -> f64 {
+        match self {
+            PcieGen::Gen1 | PcieGen::Gen2 => 8.0 / 10.0,
+            _ => 128.0 / 130.0,
+        }
+    }
+
+    /// Data-layer bytes per second per lane (after encoding, before TLP
+    /// overheads).
+    pub fn lane_bytes_per_sec(self) -> f64 {
+        self.raw_gt_per_sec() * self.encoding_efficiency() / 8.0
+    }
+}
+
+/// Link configuration: generation, width and maximum payload size.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieLinkConfig {
+    /// Link generation.
+    pub gen: PcieGen,
+    /// Number of lanes (x1/x4/x8/x16).
+    pub lanes: u32,
+    /// Maximum TLP payload size in bytes (128/256/512; testbed-typical 256).
+    pub max_payload: u32,
+}
+
+impl Default for PcieLinkConfig {
+    /// The paper's testbed link: Gen3 x16, 256 B MPS.
+    fn default() -> Self {
+        PcieLinkConfig {
+            gen: PcieGen::Gen3,
+            lanes: 16,
+            max_payload: 256,
+        }
+    }
+}
+
+/// Per-TLP overhead bytes for a memory-write TLP with 64-bit addressing:
+/// 16 B header (4 DW) + 4 B framing/STP (includes sequence number, Gen3)
+/// + 4 B LCRC.
+pub const TLP_OVERHEAD_BYTES: u32 = 24;
+
+/// Amortised DLLP overhead (ACK/NAK + flow-control updates) charged per
+/// TLP: one 8-byte DLLP roughly every four TLPs.
+pub const DLLP_OVERHEAD_BYTES_PER_TLP: u32 = 2;
+
+impl PcieLinkConfig {
+    /// Total data-layer bandwidth in bytes/sec (before TLP overhead).
+    pub fn raw_bytes_per_sec(&self) -> f64 {
+        self.gen.lane_bytes_per_sec() * self.lanes as f64
+    }
+
+    /// Number of memory-write TLPs needed to move `len` payload bytes.
+    pub fn tlps_for(&self, len: u64) -> u64 {
+        len.div_ceil(self.max_payload as u64).max(1)
+    }
+
+    /// Bytes on the link for a write of `len` payload bytes, including TLP
+    /// headers, framing and amortised DLLPs.
+    pub fn wire_bytes_for(&self, len: u64) -> u64 {
+        let tlps = self.tlps_for(len);
+        len + tlps * (TLP_OVERHEAD_BYTES + DLLP_OVERHEAD_BYTES_PER_TLP) as u64
+    }
+
+    /// Payload fraction for maximum-size writes.
+    pub fn payload_efficiency(&self) -> f64 {
+        let mps = self.max_payload as u64;
+        mps as f64 / self.wire_bytes_for(mps) as f64
+    }
+
+    /// Achievable payload goodput in bytes/sec for streaming maximum-size
+    /// writes — the "~110 Gbps for Gen3 x16" number from the paper.
+    pub fn effective_goodput_bytes_per_sec(&self) -> f64 {
+        self.raw_bytes_per_sec() * self.payload_efficiency()
+    }
+
+    /// Convenience: goodput in Gbps.
+    pub fn effective_goodput_gbps(&self) -> f64 {
+        self.effective_goodput_bytes_per_sec() * 8.0 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen3_x16_matches_paper_numbers() {
+        let link = PcieLinkConfig::default();
+        // Raw: 8 GT/s * 16 * (128/130) / 8 = 15.75 GB/s = 126 Gb/s.
+        let raw_gbps = link.raw_bytes_per_sec() * 8.0 / 1e9;
+        assert!((raw_gbps - 126.0).abs() < 0.5, "raw {raw_gbps}");
+        // Effective goodput: paper says ~110 Gbps.
+        let good = link.effective_goodput_gbps();
+        assert!(
+            (108.0..116.0).contains(&good),
+            "goodput {good} Gbps should be ~110"
+        );
+    }
+
+    #[test]
+    fn encoding_efficiency_by_gen() {
+        assert!((PcieGen::Gen1.encoding_efficiency() - 0.8).abs() < 1e-12);
+        assert!((PcieGen::Gen3.encoding_efficiency() - 128.0 / 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tlp_count_rounds_up() {
+        let link = PcieLinkConfig::default();
+        assert_eq!(link.tlps_for(1), 1);
+        assert_eq!(link.tlps_for(256), 1);
+        assert_eq!(link.tlps_for(257), 2);
+        assert_eq!(link.tlps_for(4096), 16);
+        // Zero-length writes (doorbells) still cost one TLP.
+        assert_eq!(link.tlps_for(0), 1);
+    }
+
+    #[test]
+    fn wire_bytes_include_overheads() {
+        let link = PcieLinkConfig::default();
+        // 4096 B payload = 16 TLPs * 26 B overhead = 416 B extra.
+        assert_eq!(link.wire_bytes_for(4096), 4096 + 16 * 26);
+    }
+
+    #[test]
+    fn smaller_mps_is_less_efficient() {
+        let big = PcieLinkConfig {
+            max_payload: 512,
+            ..Default::default()
+        };
+        let small = PcieLinkConfig {
+            max_payload: 128,
+            ..Default::default()
+        };
+        assert!(big.payload_efficiency() > small.payload_efficiency());
+    }
+
+    #[test]
+    fn gen4_doubles_gen3() {
+        let g3 = PcieLinkConfig::default();
+        let g4 = PcieLinkConfig {
+            gen: PcieGen::Gen4,
+            ..g3
+        };
+        let ratio = g4.raw_bytes_per_sec() / g3.raw_bytes_per_sec();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn gen1_gen2_encoding_penalty() {
+        // 8b/10b loses 20%: Gen2 x8 raw = 5 GT/s * 8 * 0.8 / 8 = 4 GB/s.
+        let link = PcieLinkConfig {
+            gen: PcieGen::Gen2,
+            lanes: 8,
+            max_payload: 256,
+        };
+        assert!((link.raw_bytes_per_sec() - 4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn gen5_x16_exceeds_400g() {
+        let link = PcieLinkConfig {
+            gen: PcieGen::Gen5,
+            lanes: 16,
+            max_payload: 512,
+        };
+        assert!(link.effective_goodput_gbps() > 400.0);
+    }
+
+    #[test]
+    fn narrow_links_scale_linearly_with_lanes() {
+        let x4 = PcieLinkConfig { lanes: 4, ..Default::default() };
+        let x16 = PcieLinkConfig::default();
+        let ratio = x16.raw_bytes_per_sec() / x4.raw_bytes_per_sec();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_efficiency_bounds() {
+        for mps in [128u32, 256, 512] {
+            let link = PcieLinkConfig { max_payload: mps, ..Default::default() };
+            let eff = link.payload_efficiency();
+            assert!(eff > 0.8 && eff < 1.0, "mps {mps}: eff {eff}");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The discrete-event execution loop.
+//!
+//! A simulation is a `World` (all mutable component state) plus an
+//! `EventQueue`. The engine pops the earliest event, advances the clock and
+//! hands the event to the world, which may schedule further events through
+//! the [`Scheduler`] it receives. This mirrors the poll-driven style of
+//! event-driven network stacks: components are plain state machines and all
+//! control flow is explicit.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle through which event handlers schedule future events.
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` from now.
+    #[inline]
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedule `event` at an absolute time (must not be in the past).
+    #[inline]
+    pub fn at(&mut self, time: SimTime, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        self.queue.push(time, event);
+    }
+
+    /// Schedule `event` to fire as soon as possible (same timestamp, after
+    /// already-pending events at this timestamp).
+    #[inline]
+    pub fn immediately(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+
+    /// Events currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Events dispatched over the scheduler's lifetime.
+    pub fn dispatched_total(&self) -> u64 {
+        self.queue.dispatched_total()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The mutable simulation state and its event handler.
+pub trait World {
+    /// The event type this world handles.
+    type Event;
+
+    /// Handle one event at time `now`. May schedule more via `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Outcome of driving a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the deadline.
+    QueueEmpty {
+        /// Time of the last dispatched event.
+        at: SimTime,
+    },
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The event budget was exhausted (guard against runaway simulations).
+    EventBudgetExhausted {
+        /// Time at which the budget ran out.
+        at: SimTime,
+    },
+}
+
+/// Drives a `World` and its scheduler.
+pub struct Engine<W: World> {
+    /// The simulation state.
+    pub world: W,
+    /// The clock and event queue.
+    pub sched: Scheduler<W::Event>,
+    /// Safety valve: maximum events per `run_until` call (default: no limit).
+    pub event_budget: Option<u64>,
+}
+
+impl<W: World> Engine<W> {
+    /// An engine with an empty queue wrapping `world`.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            sched: Scheduler::new(),
+            event_budget: None,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Run until `deadline` (inclusive: events stamped exactly at the
+    /// deadline still run), the queue empties, or the budget runs out.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        let mut budget = self.event_budget;
+        loop {
+            let Some(t) = self.sched.queue.peek_time() else {
+                return RunOutcome::QueueEmpty { at: self.sched.now };
+            };
+            if t > deadline {
+                self.sched.now = deadline;
+                return RunOutcome::DeadlineReached;
+            }
+            if let Some(b) = budget.as_mut() {
+                if *b == 0 {
+                    return RunOutcome::EventBudgetExhausted { at: self.sched.now };
+                }
+                *b -= 1;
+            }
+            let (t, ev) = self.sched.queue.pop().expect("peeked");
+            debug_assert!(t >= self.sched.now, "event from the past");
+            self.sched.now = t;
+            self.world.handle(t, ev, &mut self.sched);
+        }
+    }
+
+    /// Run until the queue is empty (or budget exhausted).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy world: a ping-pong counter that reschedules itself N times.
+    struct PingPong {
+        remaining: u32,
+        log: Vec<(u64, &'static str)>,
+    }
+
+    enum Ev {
+        Ping,
+        Pong,
+    }
+
+    impl World for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Ping => {
+                    self.log.push((now.as_nanos(), "ping"));
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        sched.after(SimDuration::from_nanos(10), Ev::Pong);
+                    }
+                }
+                Ev::Pong => {
+                    self.log.push((now.as_nanos(), "pong"));
+                    sched.after(SimDuration::from_nanos(10), Ev::Ping);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_alternates_and_terminates() {
+        let mut eng = Engine::new(PingPong {
+            remaining: 3,
+            log: vec![],
+        });
+        eng.sched.immediately(Ev::Ping);
+        let out = eng.run_to_completion();
+        assert!(matches!(out, RunOutcome::QueueEmpty { .. }));
+        let names: Vec<&str> = eng.world.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(
+            names,
+            ["ping", "pong", "ping", "pong", "ping", "pong", "ping"]
+        );
+        // Events are spaced 10ns apart.
+        assert_eq!(eng.world.log.last().unwrap().0, 60);
+        assert_eq!(eng.now().as_nanos(), 60);
+    }
+
+    #[test]
+    fn deadline_stops_simulation_and_advances_clock() {
+        let mut eng = Engine::new(PingPong {
+            remaining: 1_000_000,
+            log: vec![],
+        });
+        eng.sched.immediately(Ev::Ping);
+        let out = eng.run_until(SimTime::from_nanos(55));
+        assert_eq!(out, RunOutcome::DeadlineReached);
+        assert_eq!(eng.now().as_nanos(), 55);
+        // Events at t<=55: 0,10,20,30,40,50 -> 6 handled.
+        assert_eq!(eng.world.log.len(), 6);
+        // Resuming picks up where we left off.
+        let out = eng.run_until(SimTime::from_nanos(75));
+        assert_eq!(out, RunOutcome::DeadlineReached);
+        assert_eq!(eng.world.log.len(), 8);
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        let mut eng = Engine::new(PingPong {
+            remaining: u32::MAX,
+            log: vec![],
+        });
+        eng.event_budget = Some(10);
+        eng.sched.immediately(Ev::Ping);
+        let out = eng.run_to_completion();
+        assert!(matches!(out, RunOutcome::EventBudgetExhausted { .. }));
+        assert_eq!(eng.world.log.len(), 10);
+    }
+
+    #[test]
+    fn scheduler_immediately_runs_at_same_time_in_fifo_order() {
+        struct Fanout {
+            log: Vec<u32>,
+        }
+        impl World for Fanout {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.log.push(ev);
+                if ev == 0 {
+                    sched.immediately(1);
+                    sched.immediately(2);
+                }
+            }
+        }
+        let mut eng = Engine::new(Fanout { log: vec![] });
+        eng.sched.immediately(0);
+        eng.run_to_completion();
+        assert_eq!(eng.world.log, [0, 1, 2]);
+        assert_eq!(eng.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,276 @@
+//! Log-linear latency histogram (HdrHistogram-style).
+//!
+//! Values are bucketed with bounded relative error (~1/32 by default), which
+//! is plenty for reporting p50/p99/p999 queueing delays while using a few KiB
+//! of memory regardless of sample count.
+
+/// A histogram over `u64` values (we use nanoseconds) with log-linear buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// 2^sub_bits linear sub-buckets per power-of-two range.
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Default precision: 32 sub-buckets per octave (~3% relative error).
+    pub fn new() -> Self {
+        Self::with_precision(5)
+    }
+
+    /// `sub_bits` linear sub-bucket bits per octave (1..=8).
+    pub fn with_precision(sub_bits: u32) -> Self {
+        assert!((1..=8).contains(&sub_bits), "sub_bits out of range");
+        // 64 octaves max for u64 values.
+        let buckets = (64 - sub_bits as usize + 1) * (1 << sub_bits);
+        Histogram {
+            sub_bits,
+            counts: vec![0; buckets],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn index_of(&self, value: u64) -> usize {
+        let sub = self.sub_bits;
+        // Values below 2^sub_bits land in the first linear region.
+        let bits = 64 - value.leading_zeros();
+        if bits <= sub {
+            return value as usize;
+        }
+        let shift = bits - sub - 1;
+        let bucket = shift as usize + 1;
+        let sub_idx = ((value >> shift) as usize) & ((1 << sub) - 1);
+        // bucket 0 occupies a full 2^sub entries; each later bucket adds
+        // the upper half (2^(sub-1))... we use the simpler full-size layout:
+        bucket * (1 << sub) + sub_idx
+    }
+
+    /// Lowest value that maps to the bucket at `idx` (inverse of `index_of`).
+    fn value_of(&self, idx: usize) -> u64 {
+        let sub = self.sub_bits;
+        let per = 1usize << sub;
+        let bucket = idx / per;
+        let sub_idx = (idx % per) as u64;
+        if bucket == 0 {
+            return sub_idx;
+        }
+        let shift = (bucket - 1) as u32;
+        ((1u64 << sub) | sub_idx) << shift
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1)
+    }
+
+    /// Record `count` samples of the same value.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = self.index_of(value);
+        self.counts[idx] += count;
+        self.total += count;
+        self.sum += value as u128 * count as u128;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of all samples (tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1]. Returns the lower bound of the bucket
+    /// containing the q-th sample (so the error is bounded by bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.value_of(idx).max(self.min()).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merge another histogram recorded with the same precision.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.sub_bits, other.sub_bits, "precision mismatch");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Discard all samples.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        // Values < 2^sub_bits are stored exactly.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn quantiles_bounded_relative_error() {
+        let mut h = Histogram::new();
+        // Record 1..=100_000 uniformly; quantiles should be within ~3.2%.
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.04, "q={q} got={got} expect={expect} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record_n(100, 3);
+        h.record(200);
+        assert!((h.mean() - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(50, 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert!(a.max() >= 1_000_000 * 31 / 32);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn index_value_roundtrip_monotone() {
+        let h = Histogram::new();
+        let mut last_idx = 0usize;
+        for exp in 0..40 {
+            let v = 1u64 << exp;
+            let idx = h.index_of(v);
+            assert!(idx >= last_idx, "index must be monotone in value");
+            last_idx = idx;
+            let lo = h.value_of(idx);
+            assert!(lo <= v, "bucket lower bound {lo} must be <= {v}");
+            // Relative error bound: bucket width / value <= 2^-sub_bits.
+            assert!((v - lo) as f64 / v as f64 <= 1.0 / 32.0 + 1e-12);
+        }
+    }
+}

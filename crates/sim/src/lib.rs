@@ -1,0 +1,38 @@
+//! # hostcc-sim
+//!
+//! Deterministic discrete-event simulation engine underpinning the `hostcc`
+//! host-interconnect congestion laboratory.
+//!
+//! The crate provides exactly the primitives a packet-level simulator needs
+//! and nothing else:
+//!
+//! * [`SimTime`]/[`SimDuration`] — integer-nanosecond simulated time;
+//! * [`EventQueue`] — a deterministic (FIFO tie-break) min-priority queue;
+//! * [`Engine`]/[`World`]/[`Scheduler`] — the event loop;
+//! * [`SimRng`] — a seedable, stable xoshiro256** generator;
+//! * statistics: [`Running`], [`RateMeter`], [`Ewma`], [`TimeSeries`],
+//!   [`Histogram`];
+//! * pacing: [`TokenBucket`], [`SerialLink`].
+//!
+//! Everything is synchronous and allocation-light, in the spirit of
+//! event-driven network stacks: components are explicit state machines that
+//! the engine polls by delivering events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod hist;
+mod pacer;
+mod queue;
+mod rng;
+mod stats;
+mod time;
+
+pub use engine::{Engine, RunOutcome, Scheduler, World};
+pub use hist::Histogram;
+pub use pacer::{SerialLink, TokenBucket};
+pub use queue::EventQueue;
+pub use rng::{SimRng, SplitMix64};
+pub use stats::{Ewma, RateMeter, Running, TimeSeries};
+pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -1,0 +1,50 @@
+//! Watch the NIC input buffer fill and saw-tooth under host congestion —
+//! the queue the congestion controller cannot see.
+//!
+//! ```text
+//! cargo run --release -p hostcc-examples --bin buffer_timeline
+//! ```
+
+use hostcc::experiment::{run, RunPlan};
+use hostcc::scenarios;
+use hostcc::substrate::sim::SimDuration;
+
+fn main() {
+    // A host-congested operating point: 14 receiver cores, IOMMU on.
+    let cfg = scenarios::fig3(14, true);
+    let capacity = cfg.nic.input_buffer_bytes;
+    println!("simulating 14 receiver cores, IOMMU on (IOTLB-bound)...");
+    let m = run(
+        cfg,
+        RunPlan {
+            warmup: SimDuration::from_millis(25),
+            measure: SimDuration::from_millis(3),
+        },
+    );
+
+    println!(
+        "\nNIC input buffer occupancy over {} (capacity {} KiB):\n",
+        m.measured,
+        capacity / 1024
+    );
+    // Downsample to ~60 rows.
+    let stride = (m.occupancy_samples.len() / 60).max(1);
+    for chunk in m.occupancy_samples.chunks(stride) {
+        let (t, occ) = chunk[chunk.len() / 2];
+        let frac = occ as f64 / capacity as f64;
+        let bar = "#".repeat((frac * 60.0) as usize);
+        println!("{:>7.2} us |{:<60}| {:>4.0}%", t as f64 / 1000.0, bar, frac * 100.0);
+    }
+
+    println!(
+        "\nthroughput {:.1} Gbps, drops {:.2}%, host delay p50 {:.0} us (target 100 us)",
+        m.app_throughput_gbps(),
+        m.drop_rate() * 100.0,
+        m.host_delay_p50_us()
+    );
+    println!(
+        "the buffer rides near capacity and sheds arrivals as drops — while the \
+         drain keeps the queueing delay just under the congestion controller's \
+         target. That standing near-full queue IS the paper's host congestion."
+    );
+}

@@ -1,0 +1,56 @@
+//! IOMMU contention walk-through (a miniature Figure 3).
+//!
+//! Sweeps receiver cores with the IOMMU on and off, prints the measured
+//! throughput next to the paper's analytical model
+//! `C·pkt/(T_base + M·T_miss)`, and shows the regime transition from
+//! CPU-bottlenecked to interconnect-bottlenecked.
+//!
+//! ```text
+//! cargo run --release -p hostcc-examples --bin iommu_contention
+//! ```
+
+use hostcc::experiment::{sweep, RunPlan};
+use hostcc::model::{cpu_bound_gbps, ThroughputModel};
+use hostcc::scenarios;
+
+fn main() {
+    let cores = [2u32, 6, 10, 14];
+    let mut points = Vec::new();
+    for &c in &cores {
+        for on in [true, false] {
+            points.push(((c, on), scenarios::fig3(c, on)));
+        }
+    }
+    println!("running {} testbed configurations in parallel...", points.len());
+    let results = sweep(points, RunPlan::default());
+
+    println!(
+        "\n{:>5} {:>6} {:>9} {:>10} {:>10} {:>10} {:>8}",
+        "cores", "iommu", "tp(Gbps)", "cpu-bound", "model(M)", "misses/pkt", "drops"
+    );
+    for p in &results {
+        let (c, on) = p.label;
+        let m = &p.metrics;
+        let cfg = scenarios::fig3(c, on);
+        let cpu = cpu_bound_gbps(&cfg, c);
+        let model = ThroughputModel::from_config(&cfg);
+        let modeled = model.app_throughput_gbps(m.iotlb_misses_per_packet());
+        println!(
+            "{:>5} {:>6} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>7.2}%",
+            c,
+            if on { "ON" } else { "OFF" },
+            m.app_throughput_gbps(),
+            cpu,
+            modeled,
+            m.iotlb_misses_per_packet(),
+            m.drop_rate() * 100.0
+        );
+    }
+
+    println!(
+        "\nreading guide: below ~8 cores throughput tracks the CPU bound (both IOMMU \
+         settings identical); beyond it the IOMMU-on runs fall away from the 92 Gbps \
+         ceiling as IOTLB misses per packet climb — and the measured throughput tracks \
+         the paper's Little's-law model evaluated at the measured miss rate."
+    );
+}

@@ -1,0 +1,4 @@
+//! Example binaries for the `hostcc` host-interconnect congestion
+//! laboratory. See the `[[bin]]` targets: `quickstart`,
+//! `iommu_contention`, `noisy_neighbor`, `cc_comparison` and
+//! `fleet_scatter`.

@@ -1,0 +1,47 @@
+//! Noisy-neighbour scenario (a miniature Figure 6): a memory-hungry
+//! co-located job steals bus bandwidth and the NIC suffers — even though
+//! the network link is far from saturated.
+//!
+//! ```text
+//! cargo run --release -p hostcc-examples --bin noisy_neighbor
+//! ```
+
+use hostcc::experiment::{sweep, RunPlan};
+use hostcc::scenarios;
+
+fn main() {
+    let antagonists = [0u32, 4, 8, 12, 15];
+    let points: Vec<_> = antagonists
+        .iter()
+        .map(|&a| (a, scenarios::fig6(a, false))) // IOMMU off: isolate the bus
+        .collect();
+    println!(
+        "running {} configurations (12 receiver cores, IOMMU off, STREAM antagonist)...",
+        points.len()
+    );
+    let results = sweep(points, RunPlan::default());
+
+    println!(
+        "\n{:>10} {:>9} {:>12} {:>10} {:>12}",
+        "antagonist", "tp(Gbps)", "membw(GB/s)", "drops", "link util"
+    );
+    for p in &results {
+        let m = &p.metrics;
+        println!(
+            "{:>10} {:>9.2} {:>12.1} {:>9.2}% {:>11.1}%",
+            p.label,
+            m.app_throughput_gbps(),
+            m.memory_bandwidth_gbytes(),
+            m.drop_rate() * 100.0,
+            m.link_utilization(100e9) * 100.0
+        );
+    }
+
+    println!(
+        "\nreading guide: as STREAM cores saturate the memory bus (~90 GB/s \
+         achievable), per-DMA latency inflates, PCIe credits return slowly, and the \
+         NIC input buffer overflows — packets drop while the 100 Gbps access link \
+         sits well below full utilisation. This is the paper's Fig. 1 'drops at low \
+         utilisation' population, reproduced mechanistically."
+    );
+}

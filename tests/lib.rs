@@ -1,0 +1,3 @@
+//! Integration-test package for the `hostcc` workspace. The actual tests
+//! live in the `[[test]]` targets (`end_to_end.rs`, `properties.rs`,
+//! `figures.rs`).
