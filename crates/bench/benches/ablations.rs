@@ -20,7 +20,10 @@ fn main() {
     let congested_membw = || scenarios::fig6(12, false); // bus-bound point
 
     let points: Vec<(&'static str, TestbedConfig)> = vec![
-        ("baseline: IOTLB-bound (14 cores, IOMMU on)", congested_iommu()),
+        (
+            "baseline: IOTLB-bound (14 cores, IOMMU on)",
+            congested_iommu(),
+        ),
         (
             "iotlb 256 entries",
             scenarios::with_iotlb_entries(congested_iommu(), 256),
@@ -29,14 +32,11 @@ fn main() {
             "iotlb 512 entries",
             scenarios::with_iotlb_entries(congested_iommu(), 512),
         ),
-        (
-            "sequential buffer recycling",
-            {
-                let mut c = congested_iommu();
-                c.recycling = hostcc::substrate::host::BufferRecycling::Sequential;
-                c
-            },
-        ),
+        ("sequential buffer recycling", {
+            let mut c = congested_iommu();
+            c.recycling = hostcc::substrate::host::BufferRecycling::Sequential;
+            c
+        }),
         (
             "hot buffer pool + DDIO (on-NIC-memory style)",
             scenarios::with_hot_buffers(congested_iommu()),
@@ -65,7 +65,10 @@ fn main() {
             "no descriptor prefetch (blocking desc reads)",
             scenarios::without_descriptor_prefetch(congested_iommu()),
         ),
-        ("baseline: bus-bound (12 antagonists, IOMMU off)", congested_membw()),
+        (
+            "baseline: bus-bound (12 antagonists, IOMMU off)",
+            congested_membw(),
+        ),
         (
             "membw QoS: antagonist throttled to 50% (MBA)",
             scenarios::with_membw_qos(congested_membw(), 0.5),

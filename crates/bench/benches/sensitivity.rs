@@ -19,8 +19,14 @@ fn main() {
     let points: Vec<(&'static str, TestbedConfig)> = vec![
         ("baseline (14 cores, IOMMU on)", base()),
         // IOTLB size: the resource the paper calls stagnant "[4, 25]".
-        ("iotlb x2 (256 entries)", scenarios::with_iotlb_entries(base(), 256)),
-        ("iotlb x4 (512 entries)", scenarios::with_iotlb_entries(base(), 512)),
+        (
+            "iotlb x2 (256 entries)",
+            scenarios::with_iotlb_entries(base(), 256),
+        ),
+        (
+            "iotlb x4 (512 entries)",
+            scenarios::with_iotlb_entries(base(), 512),
+        ),
         // PCIe headroom: Gen4 doubles the link; paper notes the NIC:PCIe
         // ratio is stagnant across ConnectX generations.
         ("pcie gen4 x16", {
@@ -49,7 +55,10 @@ fn main() {
             c
         }),
         // NIC buffer: the stagnant "[30]" trend.
-        ("nic buffer x4 (4 MiB)", scenarios::with_nic_buffer(base(), 4 << 20)),
+        (
+            "nic buffer x4 (4 MiB)",
+            scenarios::with_nic_buffer(base(), 4 << 20),
+        ),
         // Faster cores (e.g. fewer cycles per packet).
         ("20% faster packet processing", {
             let mut c = base();

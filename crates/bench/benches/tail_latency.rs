@@ -16,9 +16,18 @@ use hostcc_bench::{emit, plan};
 
 fn main() {
     let points: Vec<(&'static str, TestbedConfig)> = vec![
-        ("uncongested (8 cores, IOMMU off)", scenarios::fig3(8, false)),
-        ("IOTLB-bound (14 cores, IOMMU on)", scenarios::fig3(14, true)),
-        ("bus-bound (12 antagonists, IOMMU off)", scenarios::fig6(12, false)),
+        (
+            "uncongested (8 cores, IOMMU off)",
+            scenarios::fig3(8, false),
+        ),
+        (
+            "IOTLB-bound (14 cores, IOMMU on)",
+            scenarios::fig3(14, true),
+        ),
+        (
+            "bus-bound (12 antagonists, IOMMU off)",
+            scenarios::fig6(12, false),
+        ),
         ("both (12 antagonists, IOMMU on)", scenarios::fig6(12, true)),
     ];
     let results = sweep(points, plan());

@@ -27,13 +27,14 @@ pub fn plan() -> RunPlan {
 
 /// Whether quick mode is enabled.
 pub fn quick() -> bool {
-    std::env::var("HOSTCC_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("HOSTCC_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Where CSV outputs are written (`target/paper-figures/`).
 pub fn output_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper-figures");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-figures");
     std::fs::create_dir_all(&dir).expect("create output dir");
     dir
 }

@@ -39,7 +39,11 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::MissingCommand => write!(f, "missing command; try `hostcc help`"),
             ArgError::UnknownFlag(name) => write!(f, "unknown flag --{name}"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value}: expected {expected}")
             }
         }
@@ -49,7 +53,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches (flags that take no value).
-const SWITCHES: &[&str] = &["csv", "quick", "help"];
+const SWITCHES: &[&str] = &["csv", "json", "quick", "help"];
 
 /// Parse a raw argument vector (excluding argv[0]).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgError> {
@@ -172,11 +176,14 @@ mod tests {
 
     #[test]
     fn error_display_is_actionable() {
-        let msg = format!("{}", ArgError::BadValue {
-            flag: "threads".into(),
-            value: "x".into(),
-            expected: "integer",
-        });
+        let msg = format!(
+            "{}",
+            ArgError::BadValue {
+                flag: "threads".into(),
+                value: "x".into(),
+                expected: "integer",
+            }
+        );
         assert!(msg.contains("--threads"));
         assert!(msg.contains("integer"));
     }

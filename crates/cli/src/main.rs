@@ -11,9 +11,9 @@ mod args;
 mod registry;
 
 use args::{parse, ArgError, ParsedArgs};
-use hostcc::experiment::{run as run_sim, sweep as sweep_sims, RunPlan};
+use hostcc::experiment::{run as run_sim, run_traced, sweep as sweep_sims, RunPlan};
 use hostcc::report::{f, pct, Table};
-use hostcc::{CcKind, RunMetrics, TestbedConfig};
+use hostcc::{chrome_trace_json, metrics_json, CcKind, RunMetrics, TestbedConfig, TraceConfig};
 use hostcc_sim::SimDuration;
 
 fn main() {
@@ -72,7 +72,16 @@ fn print_help() {
          \u{20}  --warmup-ms N       warm-up (default 25)\n\
          \u{20}  --measure-ms N      measurement (default 25)\n\
          \u{20}  --csv               machine-readable output\n\
-         \u{20}  --quick             short run (5+10 ms)"
+         \u{20}  --quick             short run (5+10 ms)\n\
+         \n\
+         OBSERVABILITY (run command):\n\
+         \u{20}  --trace-out FILE    write a Chrome trace-event JSON file\n\
+         \u{20}                      (load in Perfetto / chrome://tracing)\n\
+         \u{20}  --trace-cap N       trace ring-buffer capacity (default 200000)\n\
+         \u{20}  --sample N          trace 1 in N packet lifecycles (default 1)\n\
+         \u{20}  --timeline NS       record time series every NS nanoseconds\n\
+         \u{20}  --json              print a JSON metrics snapshot (stage\n\
+         \u{20}                      breakdown, counters, engine events/sec)"
     );
 }
 
@@ -150,16 +159,63 @@ fn scenario_from(p: &ParsedArgs) -> Result<TestbedConfig, String> {
     Ok(cfg)
 }
 
+/// Build the trace configuration implied by the observability flags, or
+/// `None` when the run should stay completely untraced.
+fn trace_config_from(p: &ParsedArgs) -> Result<Option<TraceConfig>, String> {
+    let timeline: u64 = p
+        .get_parsed("timeline", 0u64, "integer")
+        .map_err(|e| e.to_string())?;
+    if !p.flags.contains_key("trace-out") && !p.switch("json") && timeline == 0 {
+        return Ok(None);
+    }
+    let cap: usize = p
+        .get_parsed("trace-cap", 200_000usize, "integer")
+        .map_err(|e| e.to_string())?;
+    let sample: u32 = p
+        .get_parsed("sample", 1u32, "integer")
+        .map_err(|e| e.to_string())?;
+    let mut tc = TraceConfig::enabled(cap).with_sampling(sample);
+    if timeline > 0 {
+        tc = tc.with_timeline(timeline);
+    }
+    Ok(Some(tc))
+}
+
 fn cmd_run(p: &ParsedArgs) -> Result<(), String> {
     let cfg = scenario_from(p)?;
     let plan = plan_from(p).map_err(|e| e.to_string())?;
     let label = p.positionals[0].clone();
-    let m = run_sim(cfg, plan);
-    let t = metrics_table(&[(label, &m)]);
-    if p.switch("csv") {
-        print!("{}", t.to_csv());
+    let (m, sim) = match trace_config_from(p)? {
+        Some(tc) => {
+            let (m, sim) = run_traced(cfg, plan, tc);
+            (m, Some(sim))
+        }
+        None => (run_sim(cfg, plan), None),
+    };
+    if let (Some(sim), Some(path)) = (&sim, p.flags.get("trace-out")) {
+        let w = sim.world();
+        let doc = chrome_trace_json(w.tracer.events(), &w.timeline);
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} trace events ({} evicted) to {path}",
+            w.tracer.len(),
+            w.tracer.evicted()
+        );
+    }
+    if p.switch("json") {
+        let empty = hostcc::CounterRegistry::new();
+        let (counters, profile) = match &sim {
+            Some(sim) => (&sim.world().counters, sim.profile()),
+            None => (&empty, None),
+        };
+        println!("{}", metrics_json(&m, counters, profile));
     } else {
-        println!("{}", t.render());
+        let t = metrics_table(&[(label, &m)]);
+        if p.switch("csv") {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
     }
     Ok(())
 }
@@ -269,10 +325,7 @@ mod tests {
 
     #[test]
     fn quick_plan_flag() {
-        let p = parse(
-            "run baseline --quick".split_whitespace().map(String::from),
-        )
-        .unwrap();
+        let p = parse("run baseline --quick".split_whitespace().map(String::from)).unwrap();
         let plan = plan_from(&p).unwrap();
         assert_eq!(plan.measure, SimDuration::from_millis(10));
     }

@@ -80,7 +80,14 @@ pub fn simulate(cluster: ClusterConfig, plan: RunPlan) -> Vec<ClusterPoint> {
     let mut points = Vec::with_capacity(cluster.samples);
     for i in 0..cluster.samples {
         let cfg = draw(&mut rng, cluster.heavy_antagonist_fraction, i as u64);
-        points.push(((cfg.receiver_threads, cfg.antagonist_cores, cfg.access_link_bps), cfg));
+        points.push((
+            (
+                cfg.receiver_threads,
+                cfg.antagonist_cores,
+                cfg.access_link_bps,
+            ),
+            cfg,
+        ));
     }
     sweep(points, plan)
         .into_iter()
@@ -159,9 +166,24 @@ mod tests {
     #[test]
     fn summary_math_on_synthetic_points() {
         let points = vec![
-            ClusterPoint { link_utilization: 0.1, drop_rate: 0.0, receiver_threads: 4, antagonist_cores: 0 },
-            ClusterPoint { link_utilization: 0.4, drop_rate: 0.01, receiver_threads: 8, antagonist_cores: 12 },
-            ClusterPoint { link_utilization: 0.9, drop_rate: 0.03, receiver_threads: 12, antagonist_cores: 0 },
+            ClusterPoint {
+                link_utilization: 0.1,
+                drop_rate: 0.0,
+                receiver_threads: 4,
+                antagonist_cores: 0,
+            },
+            ClusterPoint {
+                link_utilization: 0.4,
+                drop_rate: 0.01,
+                receiver_threads: 8,
+                antagonist_cores: 12,
+            },
+            ClusterPoint {
+                link_utilization: 0.9,
+                drop_rate: 0.03,
+                receiver_threads: 12,
+                antagonist_cores: 0,
+            },
         ];
         let s = summarize(&points);
         assert!(s.utilization_drop_correlation > 0.5, "positive correlation");

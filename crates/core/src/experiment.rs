@@ -1,6 +1,6 @@
 //! Experiment runner: one-shot runs and parallel parameter sweeps.
 
-use hostcc_host::{RunMetrics, Simulation, TestbedConfig};
+use hostcc_host::{RunMetrics, Simulation, TestbedConfig, TraceConfig};
 use hostcc_sim::SimDuration;
 
 /// How long to warm up (reach CC steady state) and measure.
@@ -40,6 +40,20 @@ pub fn run(cfg: TestbedConfig, plan: RunPlan) -> RunMetrics {
     sim.run(plan.warmup, plan.measure)
 }
 
+/// Run one configuration with tracing installed. Returns the metrics
+/// (bit-identical to an untraced [`run`]) together with the finished
+/// simulation, whose world holds the tracer ring, counter registry and
+/// timeline for export.
+pub fn run_traced(
+    cfg: TestbedConfig,
+    plan: RunPlan,
+    trace: TraceConfig,
+) -> (RunMetrics, Simulation) {
+    let mut sim = Simulation::with_trace(cfg, trace);
+    let metrics = sim.run(plan.warmup, plan.measure);
+    (metrics, sim)
+}
+
 /// One sweep point: a label, the configuration, and (after running) the
 /// measured metrics.
 #[derive(Debug)]
@@ -53,37 +67,40 @@ pub struct SweepPoint<L> {
 /// Run a set of independent configurations in parallel (one OS thread per
 /// point, bounded by available parallelism) and return results in input
 /// order. Each simulation is single-threaded and deterministic; only the
-/// sweep is parallelised.
+/// sweep is parallelised. Workers pull indices from a shared cursor and
+/// write into disjoint slots, all with std primitives.
 pub fn sweep<L: Send>(points: Vec<(L, TestbedConfig)>, plan: RunPlan) -> Vec<SweepPoint<L>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4);
-    let mut results: Vec<Option<SweepPoint<L>>> = Vec::new();
-    for _ in 0..points.len() {
-        results.push(None);
-    }
-    let work: Vec<(usize, (L, TestbedConfig))> = points.into_iter().enumerate().collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for item in work {
-        queue.push(item);
-    }
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+        .unwrap_or(4)
+        .min(points.len().max(1));
+    let work: Vec<Mutex<Option<(usize, L, TestbedConfig)>>> = points
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (label, cfg))| Mutex::new(Some((idx, label, cfg))))
+        .collect();
+    let results: Vec<Mutex<Option<SweepPoint<L>>>> =
+        work.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
         for _ in 0..parallelism {
-            scope.spawn(|_| loop {
-                let Some((idx, (label, cfg))) = queue.pop() else {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = work.get(idx) else {
                     break;
                 };
+                let (idx, label, cfg) = slot.lock().unwrap().take().expect("each slot taken once");
                 let metrics = run(cfg, plan);
-                let point = SweepPoint { label, metrics };
-                results_mutex.lock()[idx] = Some(point);
+                *results[idx].lock().unwrap() = Some(SweepPoint { label, metrics });
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_iter()
-        .map(|p| p.expect("all points ran"))
+        .map(|p| p.into_inner().unwrap().expect("all points ran"))
         .collect()
 }
 
@@ -119,9 +136,7 @@ mod tests {
         assert_eq!(out[1].label, 3);
         assert_eq!(out[2].label, 4);
         // More receiver cores, more CPU capacity, more throughput.
-        assert!(
-            out[2].metrics.app_throughput_gbps() > out[0].metrics.app_throughput_gbps()
-        );
+        assert!(out[2].metrics.app_throughput_gbps() > out[0].metrics.app_throughput_gbps());
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub mod scenarios;
 
 pub use hostcc_host::{BufferRecycling, CcKind, RunMetrics, Simulation, Testbed, TestbedConfig};
 
+// Observability layer: tracing, counters, timelines and exporters.
+pub use hostcc_host::{
+    chrome_trace_json, metrics_json, CounterRegistry, CounterSource, Stage, StageBreakdown,
+    StageClass, TimelineRecorder, TraceConfig, TraceEvent, Tracer,
+};
+
 /// Substrate crates re-exported under one roof.
 pub mod substrate {
     pub use hostcc_fabric as fabric;
@@ -50,5 +56,6 @@ pub mod substrate {
     pub use hostcc_nic as nic;
     pub use hostcc_pcie as pcie;
     pub use hostcc_sim as sim;
+    pub use hostcc_trace as trace;
     pub use hostcc_transport as transport;
 }

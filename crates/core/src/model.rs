@@ -69,7 +69,8 @@ impl ThroughputModel {
     /// Modeled application throughput at `misses_per_packet`: the credit
     /// bound clipped by the line-rate/PCIe/CPU ceiling.
     pub fn app_throughput_bps(&self, misses_per_packet: f64) -> f64 {
-        self.pipeline_bound_bps(misses_per_packet).min(self.ceiling_bps)
+        self.pipeline_bound_bps(misses_per_packet)
+            .min(self.ceiling_bps)
     }
 
     /// Convenience: modeled throughput in Gbps.

@@ -57,7 +57,7 @@ impl Table {
             out.push('\n');
         };
         fmt_row(&mut out, &self.header);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
@@ -77,14 +77,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self
-                .header
-                .iter()
-                .map(esc)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
@@ -121,6 +114,15 @@ mod tests {
         assert!(lines[3].starts_with("   16"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panic() {
+        let t = Table::new(Vec::<String>::new());
+        let s = t.render();
+        // Header line + (empty) separator line, no underflow panic.
+        assert_eq!(s, "\n\n");
+        assert_eq!(t.to_csv(), "\n");
     }
 
     #[test]

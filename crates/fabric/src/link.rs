@@ -168,7 +168,14 @@ mod tests {
     use crate::packet::{FlowId, WireFormat};
 
     fn pkt() -> Packet {
-        WireFormat::default().data_packet(FlowId { sender: 0, thread: 0 }, 0, SimTime::ZERO)
+        WireFormat::default().data_packet(
+            FlowId {
+                sender: 0,
+                thread: 0,
+            },
+            0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -247,7 +254,14 @@ mod more_tests {
     use crate::packet::{FlowId, WireFormat};
 
     fn pkt() -> Packet {
-        WireFormat::default().data_packet(FlowId { sender: 0, thread: 0 }, 0, SimTime::ZERO)
+        WireFormat::default().data_packet(
+            FlowId {
+                sender: 0,
+                thread: 0,
+            },
+            0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn data_packet_fields() {
         let wf = WireFormat::default();
-        let flow = FlowId { sender: 3, thread: 1 };
+        let flow = FlowId {
+            sender: 3,
+            thread: 1,
+        };
         let t = SimTime::from_micros(7);
         let p = wf.data_packet(flow, 42, t);
         assert_eq!(p.kind, PacketKind::Data);
@@ -168,7 +171,10 @@ mod tests {
     #[test]
     fn ack_echoes_timestamp_delay_and_ecn() {
         let wf = WireFormat::default();
-        let flow = FlowId { sender: 0, thread: 0 };
+        let flow = FlowId {
+            sender: 0,
+            thread: 0,
+        };
         let t = SimTime::from_micros(3);
         let mut data = wf.data_packet(flow, 9, t);
         data.ecn_ce = true;
@@ -185,7 +191,10 @@ mod tests {
     #[test]
     fn occupancy_echo_defaults_to_zero() {
         let wf = WireFormat::default();
-        let flow = FlowId { sender: 0, thread: 0 };
+        let flow = FlowId {
+            sender: 0,
+            thread: 0,
+        };
         let data = wf.data_packet(flow, 0, SimTime::ZERO);
         assert_eq!(data.nic_buffer_frac, 0.0);
         let ack = wf.ack_packet(&data, 1, SimDuration::ZERO);

@@ -11,11 +11,20 @@
 #![warn(missing_docs)]
 
 mod config;
+mod export;
 mod metrics;
 mod vlink;
 mod world;
 
 pub use config::{BufferRecycling, CcKind, TestbedConfig};
+pub use export::metrics_json;
 pub use metrics::{MetricsCollector, RunMetrics};
 pub use vlink::VariableRateLink;
 pub use world::{DmaJob, Event, Simulation, Testbed};
+
+// Re-export the observability vocabulary so downstream crates (core, CLI,
+// harnesses) need only one import path.
+pub use hostcc_trace::{
+    chrome_trace_json, CounterRegistry, CounterSource, Stage, StageBreakdown, StageClass,
+    TimelineRecorder, TraceConfig, TraceEvent, Tracer,
+};

@@ -2,6 +2,7 @@
 //! configurable warm-up.
 
 use hostcc_sim::{Histogram, SimDuration, SimTime};
+use hostcc_trace::StageBreakdown;
 
 /// Aggregated measurements from one testbed run.
 #[derive(Debug, Clone)]
@@ -49,6 +50,10 @@ pub struct RunMetrics {
     /// (time since measurement start, occupied bytes). One sample per
     /// memory tick; lets harnesses plot the buffer sawtooth.
     pub occupancy_samples: Vec<(u64, u64)>,
+    /// Exact per-stage decomposition of `host_delay`: each delivered
+    /// packet contributes one sample per stage and the five stage sums
+    /// add up to `host_delay.sum()` to the nanosecond.
+    pub stage_breakdown: StageBreakdown,
 }
 
 impl RunMetrics {
@@ -150,6 +155,10 @@ pub struct MetricsCollector {
     pub timeouts: u64,
     /// Occupancy samples (time ns since arm, bytes).
     pub occupancy_samples: Vec<(u64, u64)>,
+    /// Per-stage host-delay decomposition. Recorded whenever armed —
+    /// independently of any tracer — so traced and untraced runs produce
+    /// bit-identical metrics.
+    pub stage_breakdown: StageBreakdown,
 }
 
 impl Default for MetricsCollector {
@@ -182,6 +191,7 @@ impl MetricsCollector {
             retransmits: 0,
             timeouts: 0,
             occupancy_samples: Vec::new(),
+            stage_breakdown: StageBreakdown::new(),
         }
     }
 
@@ -193,12 +203,7 @@ impl MetricsCollector {
     }
 
     /// Snapshot the interval `[started, now]` into a `RunMetrics`.
-    pub fn snapshot(
-        &self,
-        now: SimTime,
-        nic_buffer_peak: u64,
-        mean_cwnd: f64,
-    ) -> RunMetrics {
+    pub fn snapshot(&self, now: SimTime, nic_buffer_peak: u64, mean_cwnd: f64) -> RunMetrics {
         let samples = self.mem_bw_samples.max(1) as f64;
         RunMetrics {
             measured: now.saturating_since(self.started),
@@ -221,6 +226,7 @@ impl MetricsCollector {
             timeouts: self.timeouts,
             mean_cwnd,
             occupancy_samples: self.occupancy_samples.clone(),
+            stage_breakdown: self.stage_breakdown.clone(),
         }
     }
 }

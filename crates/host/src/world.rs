@@ -23,20 +23,26 @@ use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::vlink::VariableRateLink;
 use hostcc_fabric::{EnqueueOutcome, FlowId, Link, Packet, SwitchPort};
 use hostcc_iommu::Iommu;
-use hostcc_mem::{
-    Iova, PageSize, RecycleOrder, RegionRegistry, RxBufferPool,
-};
+use hostcc_mem::{Iova, PageSize, RecycleOrder, RegionRegistry, RxBufferPool};
 use hostcc_memsys::{AgentClass, AgentId, MemorySystem, StreamAntagonist};
 use hostcc_nic::Nic;
 use hostcc_pcie::{credits_for_write, CreditState};
 use hostcc_sim::{
-    Engine, Ewma, Scheduler, SerialLink, SimDuration, SimRng, SimTime, World,
+    DispatchProfile, Engine, Ewma, Scheduler, SerialLink, SimDuration, SimRng, SimTime, World,
 };
+use hostcc_trace::{CounterRegistry, Stage, TimelineRecorder, TraceConfig, TraceEvent, Tracer};
 use hostcc_transport::{
-    Dctcp, FixedWindow, HostAware, ReceiverFlow, RpcReadChannel, SendBlocked, SenderFlow, Swift,
+    Dctcp, FixedWindow, FlowStats, HostAware, ReceiverFlow, RpcReadChannel, SendBlocked,
+    SenderFlow, Swift,
 };
 
 /// A DMA in flight between credit admission and completion.
+///
+/// Besides routing state, the job carries its admission time and the
+/// integer-nanosecond DMA stage components (PCIe, memory, IOMMU) so that
+/// `CpuDone` can reconstruct an *exact* per-stage decomposition of the
+/// packet's host delay: `buffer + pcie + iommu + memory + cpu ==
+/// host_delay`, to the nanosecond.
 #[derive(Debug, Clone, Copy)]
 pub struct DmaJob {
     pkt: Packet,
@@ -45,6 +51,15 @@ pub struct DmaJob {
     thread: u32,
     credit_h: u32,
     credit_d: u32,
+    /// When DMA admission happened (credits granted, descriptor taken).
+    admitted: SimTime,
+    /// PCIe serialisation + fixed DMA latency (+ descriptor-read round
+    /// trip when modelled), ns.
+    pcie_ns: u64,
+    /// Memory-bus serialisation + commit latency, ns.
+    mem_ns: u64,
+    /// IOMMU translation: lookups + page walks (+ invalidation stall), ns.
+    iommu_ns: u64,
 }
 
 /// Simulation events.
@@ -124,6 +139,12 @@ pub struct Testbed {
     pub backlog_samples: u64,
     /// Metrics accumulator (armed after warm-up).
     pub metrics: MetricsCollector,
+    /// Datapath event tracer (disabled by default; purely observational).
+    pub tracer: Tracer,
+    /// Named counters collected from every datapath component.
+    pub counters: CounterRegistry,
+    /// Periodic time-series recorder (disabled by default).
+    pub timeline: TimelineRecorder,
     rtx_base: u64,
     timeout_base: u64,
 }
@@ -153,7 +174,12 @@ impl Testbed {
         for t in 0..threads {
             // Data region (hugepage or 4K mapping per the scenario).
             let data = registry
-                .register(iommu.page_table_mut(), t, cfg.rx_region_bytes, cfg.data_page)
+                .register(
+                    iommu.page_table_mut(),
+                    t,
+                    cfg.rx_region_bytes,
+                    cfg.data_page,
+                )
                 .expect("phys budget");
             // Control region: descriptor ring + CQ + ACK buffer, 4 KiB
             // mappings (as in the paper's setup).
@@ -231,8 +257,7 @@ impl Testbed {
                         let mut hc = hc.clone();
                         let d = cfg.target_dispersion.clamp(0.0, 0.9);
                         let scale = 1.0 - d + 2.0 * d * rng.next_f64();
-                        hc.swift.fabric_base_target =
-                            hc.swift.fabric_base_target.mul_f64(scale);
+                        hc.swift.fabric_base_target = hc.swift.fabric_base_target.mul_f64(scale);
                         hc.swift.fs_range = hc.swift.fs_range.mul_f64(scale);
                         Box::new(HostAware::new(hc, cfg.flow.initial_cwnd))
                     }
@@ -243,7 +268,10 @@ impl Testbed {
                 let ch = RpcReadChannel::new(rpc_cfg);
                 f.set_data_frontier(ch.data_frontier());
                 flows.push(f);
-                flow_ids.push(FlowId { sender: s, thread: t });
+                flow_ids.push(FlowId {
+                    sender: s,
+                    thread: t,
+                });
                 recv_flows.push(ReceiverFlow::new());
                 rpc.push(ch);
             }
@@ -303,10 +331,21 @@ impl Testbed {
             link_backlog_sum: 0.0,
             backlog_samples: 0,
             metrics: MetricsCollector::new(),
+            tracer: Tracer::disabled(),
+            counters: CounterRegistry::new(),
+            timeline: TimelineRecorder::disabled(),
             rtx_base: 0,
             timeout_base: 0,
             cfg,
         }
+    }
+
+    /// Install a trace configuration (tracer + timeline recorder). The
+    /// tracer is purely observational: enabling it never changes event
+    /// ordering, RNG draws or metrics.
+    pub fn set_trace(&mut self, trace: TraceConfig) {
+        self.tracer = Tracer::new(trace);
+        self.timeline = TimelineRecorder::new(trace.timeline_period_ns);
     }
 
     /// The configuration this testbed was built with.
@@ -330,18 +369,21 @@ impl Testbed {
         id.sender * self.cfg.receiver_threads + id.thread
     }
 
-    /// Begin measurement (discard warm-up counts).
+    /// Begin measurement (discard warm-up counts). Also baselines the
+    /// counter registry so `since_baseline` reports the measurement
+    /// interval, mirroring the headline metrics.
     pub fn arm_metrics(&mut self, now: SimTime) {
         self.metrics.arm(now);
         self.nic.input.reset_peak();
         self.rtx_base = self.flows.iter().map(|f| f.stats().retransmits).sum();
         self.timeout_base = self.flows.iter().map(|f| f.stats().timeouts).sum();
+        self.collect_counters();
+        self.counters.mark_baseline();
     }
 
     /// Snapshot metrics at `now`.
     pub fn snapshot(&mut self, now: SimTime) -> RunMetrics {
-        let mean_cwnd =
-            self.flows.iter().map(|f| f.cwnd()).sum::<f64>() / self.flows.len() as f64;
+        let mean_cwnd = self.flows.iter().map(|f| f.cwnd()).sum::<f64>() / self.flows.len() as f64;
         let mut m = self
             .metrics
             .snapshot(now, self.nic.input.peak_bytes(), mean_cwnd);
@@ -349,7 +391,21 @@ impl Testbed {
         let to_now: u64 = self.flows.iter().map(|f| f.stats().timeouts).sum();
         m.retransmits = rtx_now - self.rtx_base;
         m.timeouts = to_now - self.timeout_base;
+        self.collect_counters();
         m
+    }
+
+    /// Refresh the counter registry from every datapath component.
+    pub fn collect_counters(&mut self) {
+        self.counters.collect(&self.nic);
+        self.counters.collect(&self.credits);
+        self.counters.collect(&self.iommu);
+        self.counters.collect(&self.mem);
+        let mut agg = FlowStats::default();
+        for f in &self.flows {
+            agg.absorb(&f.stats());
+        }
+        self.counters.collect(&agg);
     }
 
     /// Latency charged per page-walk memory access: the memory latency
@@ -440,6 +496,12 @@ impl Testbed {
             if self.metrics.armed {
                 self.metrics.drops_buffer_full += 1;
             }
+            if self.tracer.is_enabled() {
+                self.tracer.record(TraceEvent::instant(
+                    now.as_nanos(),
+                    Stage::NicDropBufferFull,
+                ));
+            }
         }
     }
 
@@ -449,6 +511,11 @@ impl Testbed {
                 return;
             }
             if !self.credits.can_admit(self.pkt_credit_h, self.pkt_credit_d) {
+                self.credits.note_stall();
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .record(TraceEvent::instant(now.as_nanos(), Stage::PcieCreditStall));
+                }
                 return; // retried on the next DmaComplete
             }
             let qp = self.nic.input.dequeue().expect("peeked non-empty");
@@ -465,6 +532,12 @@ impl Testbed {
                 if self.metrics.armed {
                     self.metrics.drops_no_descriptor += 1;
                 }
+                if self.tracer.is_enabled() {
+                    self.tracer.record(TraceEvent::instant(
+                        now.as_nanos(),
+                        Stage::NicDropNoDescriptor,
+                    ));
+                }
                 continue;
             };
             assert!(self.credits.try_admit(self.pkt_credit_h, self.pkt_credit_d));
@@ -477,7 +550,10 @@ impl Testbed {
             let cq_bytes = self.cfg.nic.ring_entries as u64 * self.cfg.nic.cqe_bytes;
             let mut cost = hostcc_iommu::TranslationCost::default();
             let desc_off = self.ring_page_offset(thread, 0, ring_bytes);
-            let desc_iova = self.nic.queues[thread].ring.descriptor_iova(0).add(desc_off);
+            let desc_iova = self.nic.queues[thread]
+                .ring
+                .descriptor_iova(0)
+                .add(desc_off);
             cost.add(
                 self.iommu
                     .translate_range(desc_iova, self.cfg.nic.desc_bytes)
@@ -492,7 +568,10 @@ impl Testbed {
             );
             let cq_off = self.ring_page_offset(thread, 1, cq_bytes);
             self.nic.queues[thread].cq.push();
-            let cq_base = self.nic.queues[thread].ring.descriptor_iova(0).add(ring_bytes);
+            let cq_base = self.nic.queues[thread]
+                .ring
+                .descriptor_iova(0)
+                .add(ring_bytes);
             cost.add(
                 self.iommu
                     .translate_range(cq_base.add(cq_off), self.cfg.nic.cqe_bytes)
@@ -518,21 +597,22 @@ impl Testbed {
             // DRAM bus; the rest coalesces in the LLC slice.
             let leaked_bytes = (payload as f64 * self.ddio_leak) as u64;
             let mem_done = self.mem_pipe.transmit(pcie_done, leaked_bytes);
-            let walk_ns =
-                cost.walk_memory_accesses as f64 * self.walk_access_latency_ns();
+            let walk_ns = cost.walk_memory_accesses as f64 * self.walk_access_latency_ns();
             // Commit latency: DRAM round-trip for leaked lines, LLC hit
             // for absorbed ones.
             let commit_ns = self.ddio_leak * self.mem.access_latency_ns()
                 + (1.0 - self.ddio_leak) * self.cfg.llc_latency_ns;
-            let mut done = mem_done
-                + self.cfg.dma_base_latency
-                + SimDuration::from_nanos(walk_ns as u64)
-                + SimDuration::from_nanos(commit_ns as u64)
-                + SimDuration::from_nanos(cost.lookup_ns);
+            // Accumulate the completion delay as three integer-ns stage
+            // components (the sum is identical to adding each term to
+            // `done` directly, so the decomposition is exact and free).
+            let mut pcie_ns =
+                pcie_done.saturating_since(now).as_nanos() + self.cfg.dma_base_latency.as_nanos();
+            let mem_ns = mem_done.saturating_since(pcie_done).as_nanos() + commit_ns as u64;
+            let mut iommu_ns = walk_ns as u64 + cost.lookup_ns;
             if self.cfg.strict_iommu && self.iommu.is_enabled() {
                 // Strict mode: the walker interleaves invalidation
                 // commands with translations.
-                done = done + self.cfg.invalidation_dma_stall;
+                iommu_ns += self.cfg.invalidation_dma_stall.as_nanos();
             }
             if self.cfg.model_dma_read_latency {
                 // No descriptor prefetch: the descriptor-fetch DMA read's
@@ -544,8 +624,9 @@ impl Testbed {
                     250.0,
                     self.mem.access_latency_ns(),
                 );
-                done = done + SimDuration::from_nanos(rt as u64);
+                pcie_ns += rt as u64;
             }
+            let done = now + SimDuration::from_nanos(pcie_ns + mem_ns + iommu_ns);
 
             sched.at(
                 done,
@@ -556,6 +637,10 @@ impl Testbed {
                     thread: thread as u32,
                     credit_h: self.pkt_credit_h,
                     credit_d: self.pkt_credit_d,
+                    admitted: now,
+                    pcie_ns,
+                    mem_ns,
+                    iommu_ns,
                 }),
             );
         }
@@ -613,17 +698,74 @@ impl Testbed {
             }
         }
 
-        // Host delay: NIC arrival -> stack processing done.
+        // Host delay: NIC arrival -> stack processing done, decomposed
+        // exactly into its stages. `admitted` and the three DMA components
+        // rode on the job; buffer wait and CPU time fall out of the event
+        // times, and the five parts sum to `host_delay` to the nanosecond.
         let host_delay = now.saturating_since(job.nic_arrival);
+        let dma_done =
+            job.admitted + SimDuration::from_nanos(job.pcie_ns + job.mem_ns + job.iommu_ns);
+        let buffer_ns = job.admitted.saturating_since(job.nic_arrival).as_nanos();
+        let cpu_ns = now.saturating_since(dma_done).as_nanos();
         if self.metrics.armed {
             self.metrics.host_delay.record(host_delay.as_nanos());
+            self.metrics.stage_breakdown.record(
+                buffer_ns,
+                job.pcie_ns,
+                job.iommu_ns,
+                job.mem_ns,
+                cpu_ns,
+            );
+        }
+        if self.tracer.sample() {
+            let (flow, thread, seq) = (job.pkt.flow.sender, job.thread, job.pkt.seq);
+            let t0 = job.admitted.as_nanos();
+            self.tracer.record(TraceEvent::span(
+                job.nic_arrival.as_nanos(),
+                Stage::BufferWait,
+                buffer_ns,
+                flow,
+                thread,
+                seq,
+            ));
+            self.tracer.record(TraceEvent::span(
+                t0,
+                Stage::PcieTransfer,
+                job.pcie_ns,
+                flow,
+                thread,
+                seq,
+            ));
+            self.tracer.record(TraceEvent::span(
+                t0 + job.pcie_ns,
+                Stage::IommuTranslate,
+                job.iommu_ns,
+                flow,
+                thread,
+                seq,
+            ));
+            self.tracer.record(TraceEvent::span(
+                t0 + job.pcie_ns + job.iommu_ns,
+                Stage::MemoryGrant,
+                job.mem_ns,
+                flow,
+                thread,
+                seq,
+            ));
+            self.tracer.record(TraceEvent::span(
+                dma_done.as_nanos(),
+                Stage::CpuProcess,
+                cpu_ns,
+                flow,
+                thread,
+                seq,
+            ));
         }
 
         // ACK: the NIC DMA-reads the ACK from the thread's TX/ACK pool,
         // which cycles through its pages (one more IOTLB access per packet
         // over a multi-page working set).
-        let ack_off =
-            self.ring_page_offset(t, 2, self.cfg.ack_pool_pages.max(1) as u64 * 4096);
+        let ack_off = self.ring_page_offset(t, 2, self.cfg.ack_pool_pages.max(1) as u64 * 4096);
         let ack_cost = self
             .iommu
             .translate_range(
@@ -643,8 +785,8 @@ impl Testbed {
         // Echo the freshest host-congestion signal: the NIC input-buffer
         // occupancy at ACK-generation time (hardware telemetry a
         // host-aware protocol could read; §4's new congestion signal).
-        ack.nic_buffer_frac = self.nic.input.occupancy_bytes() as f64
-            / self.nic.input.capacity_bytes() as f64;
+        ack.nic_buffer_frac =
+            self.nic.input.occupancy_bytes() as f64 / self.nic.input.capacity_bytes() as f64;
         let frontier = self.rpc[f].data_frontier();
         // Return path: receiver uplink + switch + sender downlink are all
         // uncontended; charge propagation + a small fixed processing cost
@@ -713,13 +855,10 @@ impl Testbed {
             let ddio_write = self.cfg.ddio.write_traffic_factor(hot_ws);
             let ddio_leak = self.cfg.ddio.leak_fraction(hot_ws);
             self.ddio_leak = ddio_leak;
-            let nic_rate = (self.window_payload as f64 * ddio_write
-                + self.window_walks as f64 * 64.0)
-                / dt;
-            let app_rate = self.window_payload as f64
-                * self.cfg.app_copy_read_fraction
-                * ddio_leak
-                / dt;
+            let nic_rate =
+                (self.window_payload as f64 * ddio_write + self.window_walks as f64 * 64.0) / dt;
+            let app_rate =
+                self.window_payload as f64 * self.cfg.app_copy_read_fraction * ddio_leak / dt;
             self.nic_demand.record(nic_rate);
             self.app_demand.record(app_rate);
             let nic_potential = (self.cfg.access_link_bps / 8.0).max(self.nic_demand.get());
@@ -732,16 +871,16 @@ impl Testbed {
             // bandwidth, a saturated one squeezes it toward its protected
             // share.
             let capacity = self.cfg.memsys.achievable_bytes_per_sec();
-            let cpu_alloc = self.antagonist.achieved(&mut self.mem)
-                + self.mem.allocation(self.app_agent);
+            let cpu_alloc =
+                self.antagonist.achieved(&mut self.mem) + self.mem.allocation(self.app_agent);
             let nic_avail = (capacity - cpu_alloc).max(2e9);
             self.mem_pipe.set_rate(now, nic_avail);
 
             if self.metrics.armed {
                 // Report *measured* traffic (Fig. 6 top panel), not the
                 // anchored potential.
-                let cpu_side = self.antagonist.achieved(&mut self.mem)
-                    + self.mem.allocation(self.app_agent);
+                let cpu_side =
+                    self.antagonist.achieved(&mut self.mem) + self.mem.allocation(self.app_agent);
                 self.metrics.mem_bw_sum += cpu_side + self.nic_demand.get();
                 self.metrics.nic_bw_sum += nic_avail;
                 self.metrics.mem_bw_samples += 1;
@@ -757,6 +896,26 @@ impl Testbed {
                     .sum::<f64>()
                     / self.sender_links.len() as f64;
                 self.backlog_samples += 1;
+            }
+            if self.timeline.is_enabled() {
+                let t = now.as_nanos();
+                self.timeline.offer(
+                    "nic.buffer_bytes",
+                    t,
+                    self.nic.input.occupancy_bytes() as f64,
+                );
+                self.timeline
+                    .offer("nic.mem_bandwidth_bytes_per_sec", t, nic_avail);
+                self.timeline.offer(
+                    "switch.backlog_us",
+                    t,
+                    self.switch.backlog_delay(now).as_micros_f64(),
+                );
+                self.timeline
+                    .offer("pcie.credit_stalls", t, self.credits.stalls() as f64);
+                let mean_cwnd =
+                    self.flows.iter().map(|f| f.cwnd()).sum::<f64>() / self.flows.len() as f64;
+                self.timeline.offer("cc.mean_cwnd", t, mean_cwnd);
             }
         }
         self.window_payload = 0;
@@ -777,9 +936,11 @@ impl World for Testbed {
             Event::DmaLaunch => self.handle_dma_launch(now, sched),
             Event::DmaComplete(j) => self.handle_dma_complete(now, j, sched),
             Event::CpuDone(j) => self.handle_cpu_done(now, j, sched),
-            Event::AckToSender { flow, ack, frontier } => {
-                self.handle_ack(now, flow, ack, frontier, sched)
-            }
+            Event::AckToSender {
+                flow,
+                ack,
+                frontier,
+            } => self.handle_ack(now, flow, ack, frontier, sched),
             Event::RtoSweep => self.handle_rto_sweep(now, sched),
             Event::MemTick => self.handle_mem_tick(now, sched),
         }
@@ -800,9 +961,33 @@ impl Simulation {
         Simulation { engine }
     }
 
+    /// Build and start a testbed simulation with tracing installed and
+    /// engine wall-clock profiling enabled. The trace layer is purely
+    /// observational: a traced run returns bit-identical [`RunMetrics`]
+    /// to an untraced one.
+    pub fn with_trace(cfg: TestbedConfig, trace: TraceConfig) -> Self {
+        let mut testbed = Testbed::new(cfg);
+        testbed.set_trace(trace);
+        let mut engine = Engine::new(testbed);
+        engine.enable_profiling();
+        let Engine { world, sched, .. } = &mut engine;
+        world.start(sched);
+        Simulation { engine }
+    }
+
     /// Direct access to the world (inspection in tests/harnesses).
     pub fn world(&self) -> &Testbed {
         &self.engine.world
+    }
+
+    /// Mutable access to the world (counter collection, trace control).
+    pub fn world_mut(&mut self) -> &mut Testbed {
+        &mut self.engine.world
+    }
+
+    /// Engine dispatch statistics (Some only for [`Self::with_trace`]).
+    pub fn profile(&self) -> Option<DispatchProfile> {
+        self.engine.profile()
     }
 
     /// Current simulation time.
@@ -838,12 +1023,13 @@ mod tests {
     #[test]
     fn simulation_moves_data() {
         let mut sim = Simulation::new(small_cfg());
-        let m = sim.run(
-            SimDuration::from_millis(2),
-            SimDuration::from_millis(5),
-        );
+        let m = sim.run(SimDuration::from_millis(2), SimDuration::from_millis(5));
         assert!(m.delivered_packets > 100, "packets {}", m.delivered_packets);
-        assert!(m.app_throughput_gbps() > 1.0, "tp {}", m.app_throughput_gbps());
+        assert!(
+            m.app_throughput_gbps() > 1.0,
+            "tp {}",
+            m.app_throughput_gbps()
+        );
         assert!(m.drops_fabric == 0 || m.drops_fabric < m.delivered_packets / 100);
     }
 
@@ -892,8 +1078,11 @@ mod tests {
         };
         let off = mk(false);
         let on = mk(true);
-        assert_eq!(on.iotlb_misses_per_packet() > 0.5, true,
-            "misses/pkt {}", on.iotlb_misses_per_packet());
+        assert!(
+            on.iotlb_misses_per_packet() > 0.5,
+            "misses/pkt {}",
+            on.iotlb_misses_per_packet()
+        );
         assert!(off.iotlb_misses == 0);
         assert!(
             off.app_throughput_gbps() > on.app_throughput_gbps(),
@@ -930,7 +1119,9 @@ mod diag {
                 let (mut fd, mut ed, mut lo) = (0u64, 0u64, 0u64);
                 for f in &sim.world().flows {
                     if let Some((a, b, c)) = f.cc().decrease_stats() {
-                        fd += a; ed += b; lo += c;
+                        fd += a;
+                        ed += b;
+                        lo += c;
                     }
                 }
                 let w = sim.world();
@@ -975,7 +1166,9 @@ mod diag {
                 cw[t] += f.cwnd();
                 cnt[t] += 1;
             }
-            let per: Vec<String> = (0..threads).map(|t| format!("{:.2}", cw[t]/cnt[t] as f64)).collect();
+            let per: Vec<String> = (0..threads)
+                .map(|t| format!("{:.2}", cw[t] / cnt[t] as f64))
+                .collect();
             println!("mean cwnd per thread: {:?}", per);
         }
         let trace: Vec<u32> = sim.world().launch_trace.iter().copied().collect();
@@ -983,7 +1176,12 @@ mod diag {
         let mut runs = vec![];
         let mut cur = 1;
         for w in trace.windows(2) {
-            if w[0] == w[1] { cur += 1; } else { runs.push(cur); cur = 1; }
+            if w[0] == w[1] {
+                cur += 1;
+            } else {
+                runs.push(cur);
+                cur = 1;
+            }
         }
         runs.push(cur);
         let mean_run = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
@@ -991,18 +1189,25 @@ mod diag {
         let mut last = std::collections::HashMap::new();
         let mut gaps = vec![];
         for (i, &t) in trace.iter().enumerate() {
-            if let Some(&p) = last.get(&t) { gaps.push(i - p); }
+            if let Some(&p) = last.get(&t) {
+                gaps.push(i - p);
+            }
             last.insert(t, i);
         }
         gaps.sort();
         println!(
             "trace len={} mean_run={:.2} gap p50={} p90={} p99={}",
-            trace.len(), mean_run,
-            gaps[gaps.len()/2], gaps[gaps.len()*9/10], gaps[gaps.len()*99/100]
+            trace.len(),
+            mean_run,
+            gaps[gaps.len() / 2],
+            gaps[gaps.len() * 9 / 10],
+            gaps[gaps.len() * 99 / 100]
         );
         // Per-thread share balance.
         let mut counts = [0u32; 16];
-        for &t in &trace { counts[t as usize] += 1; }
+        for &t in &trace {
+            counts[t as usize] += 1;
+        }
         println!("thread counts: {:?}", counts);
     }
 

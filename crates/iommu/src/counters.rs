@@ -1,0 +1,36 @@
+//! IOMMU and IOTLB counters for the workspace counter registry.
+
+use crate::device::Iommu;
+use hostcc_trace::{CounterRegistry, CounterSource};
+
+impl CounterSource for Iommu {
+    fn export_counters(&self, reg: &mut CounterRegistry) {
+        let s = self.stats();
+        reg.set("iommu.translations", s.translations);
+        reg.set("iommu.faults", s.faults);
+        reg.set("iommu.walk_memory_accesses", s.walk_memory_accesses);
+        let t = self.iotlb_stats();
+        reg.set("iommu.iotlb.lookups", t.lookups);
+        reg.set("iommu.iotlb.hits", t.hits);
+        reg.set("iommu.iotlb.misses", t.misses);
+        reg.set("iommu.iotlb.evictions", t.evictions);
+        reg.set("iommu.iotlb.invalidations", t.invalidations);
+        reg.set("iommu.mapped_pages", self.mapped_pages());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::IommuConfig;
+
+    #[test]
+    fn iommu_exports_translation_and_iotlb_counters() {
+        let iommu = Iommu::new(IommuConfig::default());
+        let mut reg = CounterRegistry::new();
+        reg.collect(&iommu);
+        assert_eq!(reg.lifetime("iommu.translations"), 0);
+        assert_eq!(reg.lifetime("iommu.iotlb.misses"), 0);
+        assert!(reg.len() >= 9);
+    }
+}

@@ -208,10 +208,11 @@ impl Iommu {
         // Resolve the first page to learn the mapping size; regions are
         // registered with a uniform page size, so the rest of the range
         // shares it.
-        let first = self.tables[domain.0 as usize].translate(iova).map_err(|f| {
-            self.stats.faults += 1;
-            f
-        })?;
+        let first = self.tables[domain.0 as usize]
+            .translate(iova)
+            .inspect_err(|_| {
+                self.stats.faults += 1;
+            })?;
         let page_size = first.page_size;
 
         let mut cost = TranslationCost::default();
@@ -234,7 +235,7 @@ impl Iommu {
             //    miss -> 3 accesses (PML4, PDPT, PD).
             let full_walk = page_size.walk_levels();
             let pwc_key = match page_size {
-                PageSize::Size4K => (pn << 12) >> 21,        // 2 MiB region
+                PageSize::Size4K => (pn << 12) >> 21, // 2 MiB region
                 PageSize::Size2M => ((pn << 21) >> 30) | (1 << 62), // 1 GiB region
                 PageSize::Size1G => (pn << 30) >> 39 | (1 << 63),
             };
@@ -336,15 +337,11 @@ mod tests {
     fn range_straddling_4k_pages_costs_two_lookups() {
         let mut io = mapped_iommu(true, 4 << 20, PageSize::Size4K);
         // 4096 bytes starting mid-page touch two 4K pages.
-        let t = io
-            .translate_range(Iova(0x100_0000 + 0x800), 4096)
-            .unwrap();
+        let t = io.translate_range(Iova(0x100_0000 + 0x800), 4096).unwrap();
         assert_eq!(t.cost.iotlb_lookups, 2);
         // Same range within one 2M hugepage: one lookup.
         let mut io2 = mapped_iommu(true, 4 << 20, PageSize::Size2M);
-        let t2 = io2
-            .translate_range(Iova(0x100_0000 + 0x800), 4096)
-            .unwrap();
+        let t2 = io2.translate_range(Iova(0x100_0000 + 0x800), 4096).unwrap();
         assert_eq!(t2.cost.iotlb_lookups, 1);
     }
 
@@ -427,10 +424,21 @@ mod domain_tests {
         let mut io = Iommu::new(IommuConfig::default());
         let d1 = io.create_domain();
         // The *same* IOVA maps to different physical pages per domain.
-        io.map_range(Iova(0x10_0000), PhysAddr(0x1000_0000), 4096, PageSize::Size4K)
-            .unwrap();
-        io.map_range_in(d1, Iova(0x10_0000), PhysAddr(0x2000_0000), 4096, PageSize::Size4K)
-            .unwrap();
+        io.map_range(
+            Iova(0x10_0000),
+            PhysAddr(0x1000_0000),
+            4096,
+            PageSize::Size4K,
+        )
+        .unwrap();
+        io.map_range_in(
+            d1,
+            Iova(0x10_0000),
+            PhysAddr(0x2000_0000),
+            4096,
+            PageSize::Size4K,
+        )
+        .unwrap();
         let a = io.translate_range(Iova(0x10_0000), 64).unwrap();
         let b = io.translate_range_in(d1, Iova(0x10_0000), 64).unwrap();
         assert_eq!(a.pa, PhysAddr(0x1000_0000));
@@ -451,9 +459,15 @@ mod domain_tests {
         let b = io.translate_range_in(d1, Iova(0), 64).unwrap();
         assert_eq!(b.cost.iotlb_misses, 1, "no cross-domain hit");
         // Both now cached independently.
-        assert_eq!(io.translate_range(Iova(0), 64).unwrap().cost.iotlb_misses, 0);
         assert_eq!(
-            io.translate_range_in(d1, Iova(0), 64).unwrap().cost.iotlb_misses,
+            io.translate_range(Iova(0), 64).unwrap().cost.iotlb_misses,
+            0
+        );
+        assert_eq!(
+            io.translate_range_in(d1, Iova(0), 64)
+                .unwrap()
+                .cost
+                .iotlb_misses,
             0
         );
     }
@@ -481,10 +495,16 @@ mod domain_tests {
         io.invalidate_domain(d1);
         // d1 refills; d0 still hits.
         assert_eq!(
-            io.translate_range_in(d1, Iova(0), 64).unwrap().cost.iotlb_misses,
+            io.translate_range_in(d1, Iova(0), 64)
+                .unwrap()
+                .cost
+                .iotlb_misses,
             1
         );
-        assert_eq!(io.translate_range(Iova(0), 64).unwrap().cost.iotlb_misses, 0);
+        assert_eq!(
+            io.translate_range(Iova(0), 64).unwrap().cost.iotlb_misses,
+            0
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl Iotlb {
     /// configuration is `Iotlb::new(128, 8)` unless stated otherwise.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(entries > 0 && ways > 0, "empty IOTLB");
-        assert!(entries % ways == 0, "entries must be a multiple of ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Iotlb {

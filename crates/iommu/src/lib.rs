@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counters;
 mod device;
 mod iotlb;
 mod walk_cache;

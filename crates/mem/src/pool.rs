@@ -162,9 +162,7 @@ impl RxBufferPool {
     pub fn hot_set_bytes(&self) -> u64 {
         match self.order {
             RecycleOrder::Lifo => self.peak_allocated as u64 * self.slot_size,
-            RecycleOrder::Fifo | RecycleOrder::Random { .. } => {
-                self.slots as u64 * self.slot_size
-            }
+            RecycleOrder::Fifo | RecycleOrder::Random { .. } => self.slots as u64 * self.slot_size,
         }
     }
 

@@ -1,0 +1,41 @@
+//! Memory-subsystem gauges for the workspace counter registry.
+//!
+//! Bandwidth figures are exported as integer bytes/sec (truncated) — the
+//! registry holds `u64` counters; sub-byte precision is irrelevant at
+//! tens of GB/s.
+
+use crate::controller::MemorySystem;
+use hostcc_trace::{CounterRegistry, CounterSource};
+
+impl CounterSource for MemorySystem {
+    fn export_counters(&self, reg: &mut CounterRegistry) {
+        let cap = self.config().achievable_bytes_per_sec();
+        reg.set("memsys.achievable_bytes_per_sec", cap as u64);
+        reg.set(
+            "memsys.offered_bytes_per_sec",
+            (self.offered_utilization() * cap) as u64,
+        );
+        reg.set(
+            "memsys.offered_utilization_per_mille",
+            (self.offered_utilization() * 1000.0) as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemSysConfig;
+    use crate::controller::AgentClass;
+
+    #[test]
+    fn memsys_exports_capacity_and_offered_load() {
+        let mut m = MemorySystem::new(MemSysConfig::default());
+        let id = m.register_agent("nic", AgentClass::Io);
+        m.set_demand(id, 10e9);
+        let mut reg = CounterRegistry::new();
+        reg.collect(&m);
+        assert!(reg.lifetime("memsys.achievable_bytes_per_sec") > 0);
+        assert_eq!(reg.lifetime("memsys.offered_bytes_per_sec"), 10_000_000_000);
+    }
+}

@@ -14,6 +14,7 @@
 mod antagonist;
 mod config;
 mod controller;
+mod counters;
 mod curve;
 mod ddio;
 

@@ -145,7 +145,14 @@ mod tests {
     use hostcc_fabric::{FlowId, WireFormat};
 
     fn pkt() -> Packet {
-        WireFormat::default().data_packet(FlowId { sender: 0, thread: 0 }, 0, SimTime::ZERO)
+        WireFormat::default().data_packet(
+            FlowId {
+                sender: 0,
+                thread: 0,
+            },
+            0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -227,7 +234,14 @@ mod more_tests {
     use hostcc_fabric::{FlowId, WireFormat};
 
     fn pkt() -> Packet {
-        WireFormat::default().data_packet(FlowId { sender: 0, thread: 0 }, 0, SimTime::ZERO)
+        WireFormat::default().data_packet(
+            FlowId {
+                sender: 0,
+                thread: 0,
+            },
+            0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! The NIC's contribution to the workspace counter registry.
+
+use crate::nic::Nic;
+use hostcc_trace::{CounterRegistry, CounterSource};
+
+impl CounterSource for Nic {
+    fn export_counters(&self, reg: &mut CounterRegistry) {
+        reg.set("nic.delivered_packets", self.stats.delivered_packets);
+        reg.set(
+            "nic.delivered_payload_bytes",
+            self.stats.delivered_payload_bytes,
+        );
+        reg.set("nic.drops.buffer_full", self.stats.drops_buffer_full);
+        reg.set("nic.drops.no_descriptor", self.stats.drops_no_descriptor);
+        reg.set("nic.descriptor_starvation", self.descriptor_starvation());
+        reg.set("nic.buffer.peak_bytes", self.input.peak_bytes());
+        reg.set("nic.buffer.occupancy_bytes", self.input.occupancy_bytes());
+        reg.set("nic.buffer.enqueued", self.input.enqueued());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::NicConfig;
+
+    #[test]
+    fn nic_exports_delivery_and_drop_counters() {
+        let nic = Nic::new(NicConfig::default());
+        let mut reg = CounterRegistry::new();
+        reg.collect(&nic);
+        assert_eq!(reg.lifetime("nic.delivered_packets"), 0);
+        assert_eq!(reg.lifetime("nic.drops.buffer_full"), 0);
+        assert!(reg.len() >= 8);
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod counters;
 mod nic;
 mod ring;
 

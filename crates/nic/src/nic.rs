@@ -134,9 +134,11 @@ mod tests {
 
     #[test]
     fn stats_roll_up() {
-        let mut s = NicStats::default();
-        s.drops_buffer_full = 3;
-        s.drops_no_descriptor = 2;
+        let s = NicStats {
+            drops_buffer_full: 3,
+            drops_no_descriptor: 2,
+            ..NicStats::default()
+        };
         assert_eq!(s.total_drops(), 5);
     }
 

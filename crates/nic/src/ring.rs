@@ -99,7 +99,8 @@ impl RxRing {
     /// Host-memory address of the descriptor in `slot` (what the NIC's
     /// descriptor-fetch DMA reads).
     pub fn descriptor_iova(&self, slot: u32) -> Iova {
-        self.base.add(slot as u64 % self.entries as u64 * self.desc_bytes)
+        self.base
+            .add(slot as u64 % self.entries as u64 * self.desc_bytes)
     }
 
     /// Lifetime (posted, consumed, empty-on-take) counters.

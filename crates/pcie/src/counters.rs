@@ -1,0 +1,37 @@
+//! PCIe credit-pipeline counters for the workspace counter registry.
+
+use crate::credits::CreditState;
+use hostcc_trace::{CounterRegistry, CounterSource};
+
+impl CounterSource for CreditState {
+    fn export_counters(&self, reg: &mut CounterRegistry) {
+        let (h, d) = self.available();
+        reg.set("pcie.credits.admissions", self.admissions());
+        reg.set("pcie.credits.stalls", self.stalls());
+        reg.set("pcie.credits.header_available", h as u64);
+        reg.set("pcie.credits.data_available", d as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::credits::CreditConfig;
+
+    #[test]
+    fn credit_state_exports_admissions_and_stalls() {
+        let mut cs = CreditState::new(CreditConfig {
+            posted_header: 2,
+            posted_data: 8,
+        });
+        assert!(cs.try_admit(1, 4));
+        assert!(
+            !cs.try_admit(1, 8),
+            "second write exceeds remaining data credits"
+        );
+        let mut reg = CounterRegistry::new();
+        reg.collect(&cs);
+        assert_eq!(reg.lifetime("pcie.credits.admissions"), 1);
+        assert_eq!(reg.lifetime("pcie.credits.stalls"), 1);
+    }
+}

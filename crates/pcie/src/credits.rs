@@ -89,6 +89,13 @@ impl CreditState {
         h <= self.header_avail && d <= self.data_avail
     }
 
+    /// Record a refused admission without attempting one. For callers that
+    /// gate on [`can_admit`](Self::can_admit) and admit later (e.g. after a
+    /// descriptor fetch that may itself fail), so stalls are still counted.
+    pub fn note_stall(&mut self) {
+        self.stalls += 1;
+    }
+
     /// Try to admit a write; consumes credits on success.
     pub fn try_admit(&mut self, h: u32, d: u32) -> bool {
         debug_assert!(

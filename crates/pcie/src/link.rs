@@ -209,7 +209,10 @@ mod more_tests {
 
     #[test]
     fn narrow_links_scale_linearly_with_lanes() {
-        let x4 = PcieLinkConfig { lanes: 4, ..Default::default() };
+        let x4 = PcieLinkConfig {
+            lanes: 4,
+            ..Default::default()
+        };
         let x16 = PcieLinkConfig::default();
         let ratio = x16.raw_bytes_per_sec() / x4.raw_bytes_per_sec();
         assert!((ratio - 4.0).abs() < 1e-9);
@@ -218,7 +221,10 @@ mod more_tests {
     #[test]
     fn goodput_efficiency_bounds() {
         for mps in [128u32, 256, 512] {
-            let link = PcieLinkConfig { max_payload: mps, ..Default::default() };
+            let link = PcieLinkConfig {
+                max_payload: mps,
+                ..Default::default()
+            };
             let eff = link.payload_efficiency();
             assert!(eff > 0.8 && eff < 1.0, "mps {mps}: eff {eff}");
         }

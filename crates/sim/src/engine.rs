@@ -94,6 +94,28 @@ pub enum RunOutcome {
     },
 }
 
+/// Wall-clock dispatch statistics for profiled engines: how many events
+/// were handled and how much real time the event loop consumed. Purely
+/// observational — profiling never alters simulation behaviour, only
+/// reads the host clock around `run_until` calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchProfile {
+    /// Events dispatched while profiling was enabled.
+    pub events: u64,
+    /// Wall-clock nanoseconds spent inside `run_until`.
+    pub wall_nanos: u64,
+}
+
+impl DispatchProfile {
+    /// Events handled per wall-clock second (0 before any time elapses).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.events as f64 * 1e9 / self.wall_nanos as f64
+    }
+}
+
 /// Drives a `World` and its scheduler.
 pub struct Engine<W: World> {
     /// The simulation state.
@@ -102,6 +124,8 @@ pub struct Engine<W: World> {
     pub sched: Scheduler<W::Event>,
     /// Safety valve: maximum events per `run_until` call (default: no limit).
     pub event_budget: Option<u64>,
+    /// Dispatch profiling accumulator (`None` = off, the default).
+    profile: Option<DispatchProfile>,
 }
 
 impl<W: World> Engine<W> {
@@ -111,6 +135,7 @@ impl<W: World> Engine<W> {
             world,
             sched: Scheduler::new(),
             event_budget: None,
+            profile: None,
         }
     }
 
@@ -119,9 +144,32 @@ impl<W: World> Engine<W> {
         self.sched.now
     }
 
+    /// Start accumulating wall-clock dispatch statistics.
+    pub fn enable_profiling(&mut self) {
+        self.profile.get_or_insert_with(DispatchProfile::default);
+    }
+
+    /// Accumulated dispatch statistics (None when profiling is off).
+    pub fn profile(&self) -> Option<DispatchProfile> {
+        self.profile
+    }
+
     /// Run until `deadline` (inclusive: events stamped exactly at the
     /// deadline still run), the queue empties, or the budget runs out.
     pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        if self.profile.is_none() {
+            return self.run_until_inner(deadline);
+        }
+        let start = std::time::Instant::now();
+        let dispatched_before = self.sched.queue.dispatched_total();
+        let out = self.run_until_inner(deadline);
+        let p = self.profile.as_mut().expect("profiling enabled");
+        p.events += self.sched.queue.dispatched_total() - dispatched_before;
+        p.wall_nanos += start.elapsed().as_nanos() as u64;
+        out
+    }
+
+    fn run_until_inner(&mut self, deadline: SimTime) -> RunOutcome {
         let mut budget = self.event_budget;
         loop {
             let Some(t) = self.sched.queue.peek_time() else {
@@ -232,6 +280,31 @@ mod tests {
         let out = eng.run_to_completion();
         assert!(matches!(out, RunOutcome::EventBudgetExhausted { .. }));
         assert_eq!(eng.world.log.len(), 10);
+    }
+
+    #[test]
+    fn profiling_counts_events_without_changing_results() {
+        let run = |profiled: bool| {
+            let mut eng = Engine::new(PingPong {
+                remaining: 100,
+                log: vec![],
+            });
+            if profiled {
+                eng.enable_profiling();
+            }
+            eng.sched.immediately(Ev::Ping);
+            eng.run_to_completion();
+            let profile = eng.profile();
+            (eng.world.log, profile)
+        };
+        let (plain_log, plain_profile) = run(false);
+        let (prof_log, prof_profile) = run(true);
+        assert_eq!(plain_log, prof_log, "profiling must not perturb the run");
+        assert!(plain_profile.is_none());
+        let p = prof_profile.expect("profile collected");
+        assert_eq!(p.events as usize, prof_log.len());
+        assert!(p.wall_nanos > 0);
+        assert!(p.events_per_sec() > 0.0);
     }
 
     #[test]

@@ -113,6 +113,11 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of all samples (tracked outside the buckets).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Exact mean of all samples (tracked outside the buckets).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {

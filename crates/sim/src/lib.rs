@@ -29,7 +29,7 @@ mod rng;
 mod stats;
 mod time;
 
-pub use engine::{Engine, RunOutcome, Scheduler, World};
+pub use engine::{DispatchProfile, Engine, RunOutcome, Scheduler, World};
 pub use hist::Histogram;
 pub use pacer::{SerialLink, TokenBucket};
 pub use queue::EventQueue;

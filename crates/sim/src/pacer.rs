@@ -101,7 +101,11 @@ impl SerialLink {
     /// Enqueue a `bytes`-sized item arriving at `now`; returns the time its
     /// serialisation completes.
     pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if now > self.free_at { now } else { self.free_at };
+        let start = if now > self.free_at {
+            now
+        } else {
+            self.free_at
+        };
         let ser = SimDuration::for_bytes(bytes, self.bytes_per_sec);
         self.busy += ser;
         self.free_at = start + ser;

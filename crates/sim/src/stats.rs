@@ -98,8 +98,7 @@ impl Running {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -258,12 +257,10 @@ impl TimeSeries {
 
     /// (bin start time, value) pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
-        self.bins.iter().enumerate().map(move |(i, &v)| {
-            (
-                SimTime::from_nanos(i as u64 * self.bin_width.as_nanos()),
-                v,
-            )
-        })
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (SimTime::from_nanos(i as u64 * self.bin_width.as_nanos()), v))
     }
 }
 

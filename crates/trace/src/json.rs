@@ -1,0 +1,473 @@
+//! A minimal, dependency-free JSON writer and parser.
+//!
+//! The writer is a push-style builder that manages commas and escaping so
+//! exporters never hand-concatenate syntax. The parser exists so tests
+//! (and harnesses) can load exported documents back without serde; it
+//! accepts standard RFC 8259 JSON.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (insertion order preserved).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup for objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string into a JSON string literal (with quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 as a JSON number (no NaN/Inf — clamped to null-safe 0).
+pub fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "0".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Push-style JSON builder that tracks comma placement.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Whether the current container already has a member.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Begin an object value (or root).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// End the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Begin an array value (or root).
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// End the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object key (must be inside an object, before its value).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre();
+        self.out.push_str(&escape(k));
+        self.out.push(':');
+        // The value that follows must not emit a comma first.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Write a string value.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.pre();
+        self.out.push_str(&escape(v));
+        self
+    }
+
+    /// Write a numeric value.
+    pub fn num(&mut self, v: f64) -> &mut Self {
+        self.pre();
+        self.out.push_str(&num(v));
+        self
+    }
+
+    /// Write an integer value exactly.
+    pub fn int(&mut self, v: u64) -> &mut Self {
+        self.pre();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Consume the writer and return the document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.need_comma.is_empty(), "unclosed container");
+        self.out
+    }
+}
+
+/// A JSON parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSON document (must consume the whole input).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.err("expected , or }")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ]")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let s =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(s, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are replaced; exporters never emit them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("name").str("fig3");
+        w.key("tp").num(77.25);
+        w.key("drops").int(123);
+        w.key("ok").bool(true);
+        w.key("stages").begin_arr();
+        w.num(1.0).num(2.5);
+        w.end_arr();
+        w.end_obj();
+        let doc = w.finish();
+        assert_eq!(
+            doc,
+            r#"{"name":"fig3","tp":77.25,"drops":123,"ok":true,"stages":[1,2.5]}"#
+        );
+        // Round-trips through the parser.
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fig3"));
+        assert_eq!(v.get("tp").unwrap().as_f64(), Some(77.25));
+        assert_eq!(v.get("stages").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let v = parse(&escape("tab\there")).unwrap();
+        assert_eq!(v.as_str(), Some("tab\there"));
+    }
+
+    #[test]
+    fn parser_accepts_standard_json() {
+        let v = parse(r#" {"a": [1, 2.5, -3e2], "b": {"c": null}, "d": false} "#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+        assert_eq!(v.get("d"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn num_formats_integers_exactly() {
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(3.5), "3.5");
+        assert_eq!(num(f64::NAN), "0");
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = parse(r#""Aé""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
+    }
+}

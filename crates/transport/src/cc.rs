@@ -110,9 +110,8 @@ impl RttEstimator {
             Some(srtt) => {
                 let delta = if rtt > srtt { rtt - srtt } else { srtt - rtt };
                 // rttvar = 3/4 rttvar + 1/4 |delta|
-                self.rttvar = SimDuration::from_nanos(
-                    (self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 rtt
                 self.srtt = Some(SimDuration::from_nanos(
                     (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
@@ -180,7 +179,10 @@ mod tests {
     #[test]
     fn rtt_estimator_first_sample_adopted() {
         let mut e = RttEstimator::new();
-        assert_eq!(e.srtt_or(SimDuration::from_micros(1)), SimDuration::from_micros(1));
+        assert_eq!(
+            e.srtt_or(SimDuration::from_micros(1)),
+            SimDuration::from_micros(1)
+        );
         e.record(SimDuration::from_micros(40));
         assert_eq!(e.srtt_or(SimDuration::ZERO), SimDuration::from_micros(40));
         assert_eq!(e.min_rtt(), SimDuration::from_micros(40));

@@ -1,0 +1,56 @@
+//! Transport-layer counters for the workspace counter registry.
+//!
+//! A testbed runs many flows; callers sum per-flow [`FlowStats`] into one
+//! aggregate (the fields are plain `u64`s) and collect that.
+
+use crate::flow::FlowStats;
+use hostcc_trace::{CounterRegistry, CounterSource};
+
+impl FlowStats {
+    /// Accumulate another flow's stats into this aggregate.
+    pub fn absorb(&mut self, other: &FlowStats) {
+        self.data_sent += other.data_sent;
+        self.retransmits += other.retransmits;
+        self.acked += other.acked;
+        self.fast_retransmits += other.fast_retransmits;
+        self.timeouts += other.timeouts;
+    }
+}
+
+impl CounterSource for FlowStats {
+    fn export_counters(&self, reg: &mut CounterRegistry) {
+        reg.set("transport.data_sent", self.data_sent);
+        reg.set("transport.acked", self.acked);
+        reg.set("transport.retransmits", self.retransmits);
+        reg.set("transport.fast_retransmits", self.fast_retransmits);
+        reg.set("transport.timeouts", self.timeouts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_flow_stats_export() {
+        let mut agg = FlowStats::default();
+        agg.absorb(&FlowStats {
+            data_sent: 10,
+            retransmits: 1,
+            acked: 9,
+            fast_retransmits: 1,
+            timeouts: 0,
+        });
+        agg.absorb(&FlowStats {
+            data_sent: 5,
+            retransmits: 0,
+            acked: 5,
+            fast_retransmits: 0,
+            timeouts: 2,
+        });
+        let mut reg = CounterRegistry::new();
+        reg.collect(&agg);
+        assert_eq!(reg.lifetime("transport.data_sent"), 15);
+        assert_eq!(reg.lifetime("transport.timeouts"), 2);
+    }
+}

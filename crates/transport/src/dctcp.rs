@@ -167,7 +167,11 @@ mod tests {
             d.on_ack(ack((r + 1) * 60, true));
         }
         assert!(d.alpha() > 0.9, "alpha {}", d.alpha());
-        assert!(d.cwnd() <= 2.0, "persistent marking floors cwnd: {}", d.cwnd());
+        assert!(
+            d.cwnd() <= 2.0,
+            "persistent marking floors cwnd: {}",
+            d.cwnd()
+        );
     }
 
     #[test]

@@ -239,8 +239,7 @@ impl SenderFlow {
         } else if ack_seq == self.cum_acked && !self.outstanding.is_empty() {
             // Duplicate ACK: the receiver is still waiting for cum_acked.
             self.dup_acks += 1;
-            if self.dup_acks >= self.cfg.dupack_threshold && self.cum_acked >= self.recovery_end
-            {
+            if self.dup_acks >= self.cfg.dupack_threshold && self.cum_acked >= self.recovery_end {
                 // Fast retransmit the missing head-of-line packet.
                 if self.outstanding.contains_key(&self.cum_acked)
                     && !self.rtx_queue.contains(&self.cum_acked)

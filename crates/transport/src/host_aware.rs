@@ -109,8 +109,8 @@ impl CongestionControl for HostAware {
 
     fn on_loss(&mut self, now: SimTime, kind: LossKind) {
         self.swift.on_loss(now, kind);
-        self.occ_cwnd = (self.occ_cwnd * (1.0 - self.cfg.swift.max_mdf))
-            .max(self.cfg.swift.min_cwnd);
+        self.occ_cwnd =
+            (self.occ_cwnd * (1.0 - self.cfg.swift.max_mdf)).max(self.cfg.swift.min_cwnd);
     }
 
     fn cwnd(&self) -> f64 {

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 mod cc;
+mod counters;
 mod dctcp;
 mod fixed;
 mod flow;
@@ -22,7 +23,7 @@ mod swift;
 pub use cc::{AckSample, CongestionControl, LossKind, RttEstimator};
 pub use dctcp::{Dctcp, DctcpConfig};
 pub use fixed::FixedWindow;
-pub use host_aware::{HostAware, HostAwareConfig};
 pub use flow::{FlowConfig, FlowStats, ReceiverFlow, SendBlocked, SenderFlow};
+pub use host_aware::{HostAware, HostAwareConfig};
 pub use rpc::{RpcConfig, RpcReadChannel};
 pub use swift::{Swift, SwiftConfig, SwiftStats};

@@ -84,8 +84,7 @@ impl RpcReadChannel {
     /// the newest issued read. The receiver keeps `outstanding_reads`
     /// issued beyond the last completed one.
     pub fn data_frontier(&self) -> u64 {
-        (self.completed_reads() + self.cfg.outstanding_reads as u64)
-            * self.cfg.packets_per_read()
+        (self.completed_reads() + self.cfg.outstanding_reads as u64) * self.cfg.packets_per_read()
     }
 }
 

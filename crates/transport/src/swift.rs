@@ -98,8 +98,7 @@ impl DelayWindow {
             }
         } else {
             // At most one multiplicative decrease per RTT.
-            let can_decrease =
-                sample.now.saturating_since(self.last_decrease) >= sample.rtt;
+            let can_decrease = sample.now.saturating_since(self.last_decrease) >= sample.rtt;
             if can_decrease {
                 let excess =
                     (delay.as_nanos() - target.as_nanos()) as f64 / delay.as_nanos() as f64;
@@ -230,11 +229,7 @@ impl CongestionControl for Swift {
 mod tests {
     use super::*;
 
-    fn sample(
-        now_us: u64,
-        rtt_us: u64,
-        host_us: u64,
-    ) -> AckSample {
+    fn sample(now_us: u64, rtt_us: u64, host_us: u64) -> AckSample {
         AckSample {
             now: SimTime::from_micros(now_us),
             rtt: SimDuration::from_micros(rtt_us),
@@ -347,9 +342,7 @@ mod tests {
     #[test]
     fn pacing_engages_below_unit_window() {
         let mut s = Swift::new(SwiftConfig::default(), 0.5);
-        assert!(s
-            .pacing_interval(SimDuration::from_micros(40))
-            .is_some());
+        assert!(s.pacing_interval(SimDuration::from_micros(40)).is_some());
         // Grow it above 1: pacing off.
         for i in 0..200 {
             s.on_ack(sample(i * 50, 15, 5));

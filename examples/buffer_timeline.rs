@@ -33,7 +33,12 @@ fn main() {
         let (t, occ) = chunk[chunk.len() / 2];
         let frac = occ as f64 / capacity as f64;
         let bar = "#".repeat((frac * 60.0) as usize);
-        println!("{:>7.2} us |{:<60}| {:>4.0}%", t as f64 / 1000.0, bar, frac * 100.0);
+        println!(
+            "{:>7.2} us |{:<60}| {:>4.0}%",
+            t as f64 / 1000.0,
+            bar,
+            frac * 100.0
+        );
     }
 
     println!(

@@ -21,7 +21,10 @@ fn main() {
             points.push(((c, on), scenarios::fig3(c, on)));
         }
     }
-    println!("running {} testbed configurations in parallel...", points.len());
+    println!(
+        "running {} testbed configurations in parallel...",
+        points.len()
+    );
     let results = sweep(points, RunPlan::default());
 
     println!(

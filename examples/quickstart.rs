@@ -23,7 +23,10 @@ fn main() {
 
     let metrics = run(cfg, RunPlan::default());
 
-    println!("\n--- results over {} of steady state ---", metrics.measured);
+    println!(
+        "\n--- results over {} of steady state ---",
+        metrics.measured
+    );
     println!(
         "application throughput : {:.2} Gbps (ceiling ~92 Gbps)",
         metrics.app_throughput_gbps()

@@ -110,7 +110,11 @@ fn congested_point_reproduces_blind_spot() {
     // The headline phenomenon at full scale (kept to one run for test
     // time): IOTLB-bound, sustained drops, host delay below target.
     let m = run(scenarios::fig3(14, true), RunPlan::default());
-    assert!(m.drop_rate() > 0.005, "expected drops, got {}", m.drop_rate());
+    assert!(
+        m.drop_rate() > 0.005,
+        "expected drops, got {}",
+        m.drop_rate()
+    );
     assert!(
         m.host_delay_p50_us() < 110.0,
         "median host delay {} should sit at/below the CC target",

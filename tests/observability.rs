@@ -1,0 +1,135 @@
+//! Integration tests for the observability layer: tracing must never
+//! perturb simulation results, the event ring must honour its capacity,
+//! the stage breakdown must decompose host delay exactly, and both
+//! exporters (Chrome trace JSON, metrics JSON) must emit valid JSON
+//! with the expected shape.
+
+use hostcc::experiment::{run, run_traced, RunPlan};
+use hostcc::substrate::trace::json;
+use hostcc::{chrome_trace_json, metrics_json, scenarios, Stage, TraceConfig};
+
+fn cfg() -> hostcc::TestbedConfig {
+    let mut cfg = scenarios::fig3(8, true);
+    cfg.senders = 6;
+    cfg
+}
+
+/// Tracing is observational only: a traced run produces bit-identical
+/// metrics to an untraced run of the same configuration.
+#[test]
+fn traced_run_is_bit_identical_to_untraced() {
+    let plan = RunPlan::quick();
+    let base = run(cfg(), plan);
+    let (traced, sim) = run_traced(
+        cfg(),
+        plan,
+        TraceConfig::enabled(50_000)
+            .with_sampling(4)
+            .with_timeline(10_000),
+    );
+    assert!(!sim.world().tracer.is_empty(), "tracer captured nothing");
+    assert_eq!(base.delivered_packets, traced.delivered_packets);
+    assert_eq!(base.host_drops(), traced.host_drops());
+    assert_eq!(base.iotlb_misses, traced.iotlb_misses);
+    assert_eq!(base.data_packets_sent, traced.data_packets_sent);
+    assert_eq!(base.host_delay.count(), traced.host_delay.count());
+    assert_eq!(base.host_delay.sum(), traced.host_delay.sum());
+    assert_eq!(base.retransmits, traced.retransmits);
+}
+
+/// The event ring never holds more than its configured capacity: once
+/// eviction has kicked in, the ring sits exactly at capacity.
+#[test]
+fn tracer_ring_respects_capacity() {
+    let capacity = 512;
+    let (_, sim) = run_traced(cfg(), RunPlan::quick(), TraceConfig::enabled(capacity));
+    let tracer = &sim.world().tracer;
+    assert!(tracer.evicted() > 0, "run too small to exercise eviction");
+    assert_eq!(tracer.len(), capacity, "full ring must sit at capacity");
+    assert!(tracer.offered() > 0, "sampling gate never consulted");
+}
+
+/// The per-stage breakdown decomposes the host-delay histogram exactly,
+/// to the nanosecond, on a real run.
+#[test]
+fn stage_breakdown_sums_to_host_delay() {
+    let m = run(cfg(), RunPlan::quick());
+    assert!(m.delivered_packets > 0);
+    assert_eq!(m.stage_breakdown.count(), m.host_delay.count());
+    assert_eq!(m.stage_breakdown.total_sum_ns(), m.host_delay.sum());
+    // Shares form a distribution over the five stages.
+    let total: f64 = hostcc::StageClass::ALL
+        .iter()
+        .map(|c| m.stage_breakdown.share(*c))
+        .sum();
+    assert!((total - 1.0).abs() < 1e-9, "stage shares sum to {total}");
+}
+
+/// The Chrome trace exporter emits valid JSON in trace-event format:
+/// a `traceEvents` array whose entries carry ph/ts/name, including
+/// complete ("X") spans for the packet lifecycle stages.
+#[test]
+fn chrome_trace_json_parses_back() {
+    let (_, sim) = run_traced(
+        cfg(),
+        RunPlan::quick(),
+        TraceConfig::enabled(20_000)
+            .with_sampling(8)
+            .with_timeline(50_000),
+    );
+    let w = sim.world();
+    let out = chrome_trace_json(w.tracer.events(), &w.timeline);
+    let v = json::parse(&out).expect("chrome trace must be valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut spans = 0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        assert!(ev.get("ts").and_then(|t| t.as_f64()).is_some(), "ts field");
+        assert!(
+            ev.get("name").and_then(|n| n.as_str()).is_some(),
+            "name field"
+        );
+        if ph == "X" {
+            spans += 1;
+            assert!(ev.get("dur").and_then(|d| d.as_f64()).is_some());
+        }
+    }
+    assert!(spans > 0, "no complete spans in trace");
+    // Per-packet lifecycle stages appear by their dotted names.
+    for stage in [Stage::PcieTransfer, Stage::CpuProcess] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(stage.name())),
+            "missing stage {:?}",
+            stage
+        );
+    }
+}
+
+/// The metrics JSON snapshot parses back and is consistent with the
+/// in-memory metrics, including the per-stage breakdown and counters.
+#[test]
+fn metrics_json_parses_back_and_matches() {
+    let (m, sim) = run_traced(cfg(), RunPlan::quick(), TraceConfig::enabled(10_000));
+    let out = metrics_json(&m, &sim.world().counters, sim.profile());
+    let v = json::parse(&out).expect("metrics snapshot must be valid JSON");
+    let delivered = v
+        .get("delivered_packets")
+        .and_then(|x| x.as_f64())
+        .expect("delivered_packets");
+    assert_eq!(delivered as u64, m.delivered_packets);
+    let sb = v.get("stage_breakdown").expect("stage_breakdown object");
+    let packets = sb.get("packets").and_then(|x| x.as_f64()).unwrap();
+    assert_eq!(packets as u64, m.stage_breakdown.count());
+    let counters = v.get("counters").expect("counters object");
+    let nic_delivered = counters
+        .get("nic.delivered_packets")
+        .and_then(|x| x.as_f64())
+        .expect("nic.delivered_packets counter");
+    assert_eq!(nic_delivered as u64, m.delivered_packets);
+}
