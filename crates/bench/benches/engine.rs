@@ -1,0 +1,158 @@
+//! Engine dispatch benchmark: timing wheel vs. reference binary heap.
+//!
+//! Drives three representative workloads — the paper's incast
+//! microbenchmark, the Fig. 6 antagonist sweep, and a heterogeneous
+//! cluster fleet — through the full testbed on both event-queue
+//! implementations, reads the engine's `DispatchProfile`, and writes
+//! `BENCH_engine.json` at the repo root.
+//!
+//! This is a throughput *report*, not a gate: CI runs it to make sure the
+//! benchmark itself works and archives the JSON; regressions are judged by
+//! humans reading the artifact. Set `HOSTCC_QUICK=1` for a short CI run.
+
+use hostcc::experiment::RunPlan;
+use hostcc::substrate::host::Event;
+use hostcc::substrate::sim::Queue;
+use hostcc::substrate::trace::json::JsonWriter;
+use hostcc::{scenarios, Simulation, TestbedConfig};
+use hostcc_bench::{plan, quick};
+use std::path::PathBuf;
+
+/// One scenario: a named bundle of testbed configs run back to back on a
+/// single engine profile (events and wall time accumulate across runs).
+struct Scenario {
+    name: &'static str,
+    configs: Vec<TestbedConfig>,
+}
+
+fn scenarios_under_test() -> Vec<Scenario> {
+    // Incast: the paper's §3 microbenchmark at 12 receiver cores.
+    let incast = Scenario {
+        name: "incast",
+        configs: vec![scenarios::fig3(12, true)],
+    };
+    // Antagonist sweep: Fig. 6 points from idle to saturated memory bus.
+    let antagonist_cores: &[u32] = if quick() { &[8] } else { &[0, 8, 15] };
+    let antagonist = Scenario {
+        name: "antagonist_sweep",
+        configs: antagonist_cores
+            .iter()
+            .map(|&c| scenarios::fig6(c, true))
+            .collect(),
+    };
+    // Cluster fleet: heterogeneous hosts — mixed RPC sizes, varying core
+    // counts and seeds, as in the Fig. 1 fleet scatter.
+    let fleet_hosts: u64 = if quick() { 2 } else { 4 };
+    let fleet = Scenario {
+        name: "cluster_fleet",
+        configs: (0..fleet_hosts)
+            .map(|host| {
+                let mut cfg = scenarios::with_mixed_reads(scenarios::baseline());
+                cfg.seed = 0xF1EE7 + host;
+                cfg.receiver_threads = 8 + 4 * (host as u32 % 2);
+                cfg.antagonist_cores = 4 * (host as u32 % 3);
+                cfg
+            })
+            .collect(),
+    };
+    vec![incast, antagonist, fleet]
+}
+
+/// Accumulated dispatch statistics for one queue implementation.
+#[derive(Default)]
+struct QueueStats {
+    events: u64,
+    wall_nanos: u64,
+    dispatched: u64,
+}
+
+impl QueueStats {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.events as f64 * 1e9 / self.wall_nanos as f64
+    }
+}
+
+fn run_one<Q: Queue<Event>>(mut sim: Simulation<Q>, plan: &RunPlan, stats: &mut QueueStats) {
+    sim.enable_profiling();
+    sim.run(plan.warmup, plan.measure);
+    let p = sim.profile().expect("profiling enabled");
+    stats.events += p.events;
+    stats.wall_nanos += p.wall_nanos;
+    stats.dispatched += sim.dispatched_total();
+}
+
+fn run_scenario(sc: &Scenario, plan: &RunPlan) -> (QueueStats, QueueStats) {
+    let mut heap = QueueStats::default();
+    let mut wheel = QueueStats::default();
+    // Interleave heap/wheel per config so thermal or frequency drift over
+    // the benchmark run penalises both implementations equally.
+    for cfg in &sc.configs {
+        run_one(Simulation::with_heap_queue(cfg.clone()), plan, &mut heap);
+        run_one(Simulation::new(cfg.clone()), plan, &mut wheel);
+    }
+    (heap, wheel)
+}
+
+fn main() {
+    let plan = plan();
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("bench").str("engine");
+    w.key("quick").bool(quick());
+    w.key("warmup_ns").int(plan.warmup.as_nanos());
+    w.key("measure_ns").int(plan.measure.as_nanos());
+    w.key("scenarios").begin_arr();
+
+    println!(
+        "{:<18} {:>6} {:>14} {:>14} {:>8}",
+        "scenario", "runs", "heap ev/s", "wheel ev/s", "speedup"
+    );
+    let mut incast_speedup = 0.0;
+    for sc in scenarios_under_test() {
+        let (heap, wheel) = run_scenario(&sc, &plan);
+        assert_eq!(
+            heap.dispatched, wheel.dispatched,
+            "{}: queue implementations dispatched different event counts",
+            sc.name
+        );
+        let speedup = if heap.events_per_sec() > 0.0 {
+            wheel.events_per_sec() / heap.events_per_sec()
+        } else {
+            0.0
+        };
+        if sc.name == "incast" {
+            incast_speedup = speedup;
+        }
+        println!(
+            "{:<18} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
+            sc.name,
+            sc.configs.len(),
+            heap.events_per_sec(),
+            wheel.events_per_sec(),
+            speedup
+        );
+        w.begin_obj();
+        w.key("name").str(sc.name);
+        w.key("runs").int(sc.configs.len() as u64);
+        for (label, stats) in [("heap", &heap), ("wheel", &wheel)] {
+            w.key(label).begin_obj();
+            w.key("events").int(stats.events);
+            w.key("wall_nanos").int(stats.wall_nanos);
+            w.key("events_per_sec").num(stats.events_per_sec());
+            w.end_obj();
+        }
+        w.key("speedup").num(speedup);
+        w.key("dispatched_events").int(wheel.dispatched);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.key("incast_wheel_speedup").num(incast_speedup);
+    w.end_obj();
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    std::fs::write(&path, w.finish()).expect("write BENCH_engine.json");
+    println!("[json] {}", path.canonicalize().unwrap_or(path).display());
+}

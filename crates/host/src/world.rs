@@ -28,7 +28,8 @@ use hostcc_memsys::{AgentClass, AgentId, MemorySystem, StreamAntagonist};
 use hostcc_nic::Nic;
 use hostcc_pcie::{credits_for_write, CreditState};
 use hostcc_sim::{
-    DispatchProfile, Engine, Ewma, Scheduler, SerialLink, SimDuration, SimRng, SimTime, World,
+    stream_seed, DispatchProfile, Engine, EventQueue, Ewma, Queue, Scheduler, SerialLink,
+    SimDuration, SimRng, SimTime, World,
 };
 use hostcc_trace::{CounterRegistry, Stage, TimelineRecorder, TraceConfig, TraceEvent, Tracer};
 use hostcc_transport::{
@@ -129,6 +130,12 @@ pub struct Testbed {
     /// Fraction of DMA writes currently reaching DRAM (DDIO leak),
     /// refreshed every mem tick.
     ddio_leak: f64,
+    /// Whether a `DmaLaunch` event is already scheduled at the current
+    /// instant. Packet arrivals and DMA completions both kick the launch
+    /// loop; coalescing the kicks removes one queue round-trip per packet
+    /// from the dispatch hot path without changing admission order (the
+    /// launch handler drains every admissible packet anyway).
+    dma_launch_pending: bool,
     /// Rolling trace of DMA-launch thread ids (diagnostics).
     pub launch_trace: std::collections::VecDeque<u32>,
     /// Mean switch backlog accumulator (diagnostics).
@@ -197,7 +204,10 @@ impl Testbed {
 
             let order = match cfg.recycling {
                 crate::config::BufferRecycling::Scattered => RecycleOrder::Random {
-                    seed: cfg.seed ^ (0x9E37 + t as u64 * 0x1234_5677),
+                    // SplitMix64-finalized per-thread stream: adjacent
+                    // (seed, thread) pairs must not yield correlated
+                    // recycling orders.
+                    seed: stream_seed(cfg.seed, t as u64),
                 },
                 crate::config::BufferRecycling::Sequential => RecycleOrder::Fifo,
                 crate::config::BufferRecycling::Hot => RecycleOrder::Lifo,
@@ -225,10 +235,11 @@ impl Testbed {
         }
 
         // Flows: one per (sender, thread).
-        let mut flows = Vec::new();
-        let mut flow_ids = Vec::new();
-        let mut recv_flows = Vec::new();
-        let mut rpc = Vec::new();
+        let n_flows = (cfg.senders * threads) as usize;
+        let mut flows = Vec::with_capacity(n_flows);
+        let mut flow_ids = Vec::with_capacity(n_flows);
+        let mut recv_flows = Vec::with_capacity(n_flows);
+        let mut rpc = Vec::with_capacity(n_flows);
         let total_weight: f64 = cfg.read_size_mix.iter().map(|(_, w)| w).sum();
         for s in 0..cfg.senders {
             for t in 0..threads {
@@ -326,7 +337,8 @@ impl Testbed {
             pkt_credit_h,
             pkt_credit_d,
             ddio_leak: 1.0,
-            launch_trace: std::collections::VecDeque::new(),
+            dma_launch_pending: false,
+            launch_trace: std::collections::VecDeque::with_capacity(8192),
             switch_backlog_sum: 0.0,
             link_backlog_sum: 0.0,
             backlog_samples: 0,
@@ -354,7 +366,7 @@ impl Testbed {
     }
 
     /// Kick off the simulation: initial send attempts + periodic timers.
-    pub fn start(&mut self, sched: &mut Scheduler<Event>) {
+    pub fn start<Q: Queue<Event>>(&mut self, sched: &mut Scheduler<Event, Q>) {
         let n = self.flows.len() as u32;
         for f in 0..n {
             // Slight deterministic desynchronisation of flow start times.
@@ -438,7 +450,21 @@ impl Testbed {
 
     // ---- event handlers ----
 
-    fn handle_try_send(&mut self, now: SimTime, f: u32, sched: &mut Scheduler<Event>) {
+    /// Schedule a `DmaLaunch` at the current instant unless one is
+    /// already pending (coalesced kick; see `dma_launch_pending`).
+    fn kick_dma_launch<Q: Queue<Event>>(&mut self, sched: &mut Scheduler<Event, Q>) {
+        if !self.dma_launch_pending {
+            self.dma_launch_pending = true;
+            sched.immediately(Event::DmaLaunch);
+        }
+    }
+
+    fn handle_try_send<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        f: u32,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         // Bursty workloads: outside the active window, hold transmissions
         // until the next burst begins (all of a host's flows share the
         // pattern, as co-located application phases do).
@@ -473,7 +499,12 @@ impl Testbed {
         }
     }
 
-    fn handle_at_switch(&mut self, now: SimTime, pkt: Packet, sched: &mut Scheduler<Event>) {
+    fn handle_at_switch<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        pkt: Packet,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         let (outcome, pkt) = self.switch.enqueue(now, pkt);
         match outcome {
             EnqueueOutcome::DeliverAt(t) => sched.at(t, Event::AtNic(pkt)),
@@ -485,12 +516,17 @@ impl Testbed {
         }
     }
 
-    fn handle_at_nic(&mut self, now: SimTime, pkt: Packet, sched: &mut Scheduler<Event>) {
+    fn handle_at_nic<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        pkt: Packet,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         if self.metrics.armed {
             self.metrics.nic_arrival_wire_bytes += pkt.wire_bytes as u64;
         }
         if self.nic.input.enqueue(now, pkt) {
-            sched.immediately(Event::DmaLaunch);
+            self.kick_dma_launch(sched);
         } else {
             self.nic.stats.drops_buffer_full += 1;
             if self.metrics.armed {
@@ -505,7 +541,12 @@ impl Testbed {
         }
     }
 
-    fn handle_dma_launch(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn handle_dma_launch<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        self.dma_launch_pending = false;
         loop {
             if self.nic.input.is_empty() {
                 return;
@@ -646,9 +687,14 @@ impl Testbed {
         }
     }
 
-    fn handle_dma_complete(&mut self, now: SimTime, job: DmaJob, sched: &mut Scheduler<Event>) {
+    fn handle_dma_complete<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        job: DmaJob,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         self.credits.release(job.credit_h, job.credit_d);
-        sched.immediately(Event::DmaLaunch);
+        self.kick_dma_launch(sched);
         self.window_payload += job.pkt.payload_bytes as u64;
 
         // Step 7: a dedicated receiver core processes the packet (strict
@@ -665,7 +711,12 @@ impl Testbed {
         sched.at(done, Event::CpuDone(job));
     }
 
-    fn handle_cpu_done(&mut self, now: SimTime, job: DmaJob, sched: &mut Scheduler<Event>) {
+    fn handle_cpu_done<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        job: DmaJob,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         let f = self.flow_index(job.pkt.flow) as usize;
         let t = job.thread as usize;
 
@@ -804,13 +855,13 @@ impl Testbed {
         );
     }
 
-    fn handle_ack(
+    fn handle_ack<Q: Queue<Event>>(
         &mut self,
         now: SimTime,
         f: u32,
         ack: Packet,
         frontier: u64,
-        sched: &mut Scheduler<Event>,
+        sched: &mut Scheduler<Event, Q>,
     ) {
         if self.metrics.armed {
             let rtt = now.saturating_since(ack.sent_at);
@@ -829,7 +880,7 @@ impl Testbed {
         sched.immediately(Event::TrySend(f));
     }
 
-    fn handle_rto_sweep(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn handle_rto_sweep<Q: Queue<Event>>(&mut self, now: SimTime, sched: &mut Scheduler<Event, Q>) {
         for f in 0..self.flows.len() {
             if self.flows[f].check_timeout(now) {
                 sched.immediately(Event::TrySend(f as u32));
@@ -838,7 +889,7 @@ impl Testbed {
         sched.after(self.cfg.rto_sweep, Event::RtoSweep);
     }
 
-    fn handle_mem_tick(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn handle_mem_tick<Q: Queue<Event>>(&mut self, now: SimTime, sched: &mut Scheduler<Event, Q>) {
         let dt = now.saturating_since(self.last_tick).as_secs_f64();
         if dt > 0.0 {
             // Measured NIC traffic: payload writes + page-walk reads (64 B
@@ -928,7 +979,12 @@ impl Testbed {
 impl World for Testbed {
     type Event = Event;
 
-    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+    fn handle<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        event: Event,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         match event {
             Event::TrySend(f) => self.handle_try_send(now, f, sched),
             Event::AtSwitch(p) => self.handle_at_switch(now, p, sched),
@@ -948,17 +1004,18 @@ impl World for Testbed {
 }
 
 /// A ready-to-run simulation: the engine plus its started world.
-pub struct Simulation {
-    engine: Engine<Testbed>,
+/// The simulation is generic over the engine's queue implementation
+/// (default: the timing wheel). `Simulation::with_heap_queue` builds the
+/// same seeded world on the reference binary-heap queue, which the
+/// equivalence tests and the engine benchmark compare against.
+pub struct Simulation<Q: Queue<Event> = EventQueue<Event>> {
+    engine: Engine<Testbed, Q>,
 }
 
 impl Simulation {
     /// Build and start a testbed simulation.
     pub fn new(cfg: TestbedConfig) -> Self {
-        let mut engine = Engine::new(Testbed::new(cfg));
-        let Engine { world, sched, .. } = &mut engine;
-        world.start(sched);
-        Simulation { engine }
+        Self::with_queue(cfg)
     }
 
     /// Build and start a testbed simulation with tracing installed and
@@ -974,6 +1031,30 @@ impl Simulation {
         world.start(sched);
         Simulation { engine }
     }
+}
+
+impl Simulation<hostcc_sim::BinaryHeapQueue<Event>> {
+    /// Build and start a testbed simulation on the reference binary-heap
+    /// event queue (equivalence testing and benchmarking only).
+    pub fn with_heap_queue(cfg: TestbedConfig) -> Self {
+        Self::with_queue(cfg)
+    }
+}
+
+impl<Q: Queue<Event>> Simulation<Q> {
+    /// Build and start a testbed simulation over queue implementation `Q`.
+    pub fn with_queue(cfg: TestbedConfig) -> Self {
+        let mut engine = Engine::with_queue(Testbed::new(cfg));
+        let Engine { world, sched, .. } = &mut engine;
+        world.start(sched);
+        Simulation { engine }
+    }
+
+    /// Enable engine wall-clock dispatch profiling (events/sec) without
+    /// installing any tracing. Profiling never perturbs the simulation.
+    pub fn enable_profiling(&mut self) {
+        self.engine.enable_profiling();
+    }
 
     /// Direct access to the world (inspection in tests/harnesses).
     pub fn world(&self) -> &Testbed {
@@ -985,9 +1066,15 @@ impl Simulation {
         &mut self.engine.world
     }
 
-    /// Engine dispatch statistics (Some only for [`Self::with_trace`]).
+    /// Engine dispatch statistics (Some only after
+    /// [`Self::enable_profiling`] / [`Simulation::with_trace`]).
     pub fn profile(&self) -> Option<DispatchProfile> {
         self.engine.profile()
+    }
+
+    /// Events dispatched by the engine over the simulation's lifetime.
+    pub fn dispatched_total(&self) -> u64 {
+        self.engine.sched.dispatched_total()
     }
 
     /// Current simulation time.

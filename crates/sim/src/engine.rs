@@ -1,27 +1,51 @@
 //! The discrete-event execution loop.
 //!
-//! A simulation is a `World` (all mutable component state) plus an
-//! `EventQueue`. The engine pops the earliest event, advances the clock and
+//! A simulation is a `World` (all mutable component state) plus an event
+//! queue. The engine pops the earliest event, advances the clock and
 //! hands the event to the world, which may schedule further events through
 //! the [`Scheduler`] it receives. This mirrors the poll-driven style of
 //! event-driven network stacks: components are plain state machines and all
 //! control flow is explicit.
+//!
+//! Both the scheduler and the engine are generic over the queue
+//! implementation (any [`Queue`]); the default is the timing-wheel
+//! [`EventQueue`]. The [`BinaryHeapQueue`](crate::BinaryHeapQueue)
+//! reference implementation slots in for equivalence testing:
+//! `Engine::<W, BinaryHeapQueue<W::Event>>::with_queue(world)`.
 
-use crate::queue::EventQueue;
+use crate::queue::Queue;
 use crate::time::{SimDuration, SimTime};
+use crate::EventQueue;
+use core::marker::PhantomData;
 
 /// Handle through which event handlers schedule future events.
-pub struct Scheduler<E> {
+pub struct Scheduler<E, Q: Queue<E> = EventQueue<E>> {
     now: SimTime,
-    queue: EventQueue<E>,
+    queue: Q,
+    _event: PhantomData<fn(E)>,
 }
 
 impl<E> Scheduler<E> {
-    /// An empty scheduler at time zero.
+    /// An empty scheduler at time zero, using the default (timing-wheel)
+    /// event queue.
     pub fn new() -> Self {
+        Self::with_queue()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E, Q: Queue<E>> Scheduler<E, Q> {
+    /// An empty scheduler at time zero over queue implementation `Q`.
+    pub fn with_queue() -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: Q::new(),
+            _event: PhantomData,
         }
     }
 
@@ -37,11 +61,15 @@ impl<E> Scheduler<E> {
         self.queue.push(self.now + delay, event);
     }
 
-    /// Schedule `event` at an absolute time (must not be in the past).
+    /// Schedule `event` at an absolute time.
+    ///
+    /// Past times are clamped to `now` — in every build profile, so a
+    /// release build can never silently reorder the simulation where a
+    /// debug build would have fired an assertion. A clamped event fires
+    /// at the current instant, after already-pending events at `now`.
     #[inline]
     pub fn at(&mut self, time: SimTime, event: E) {
-        debug_assert!(time >= self.now, "scheduling into the past");
-        self.queue.push(time, event);
+        self.queue.push(time.max(self.now), event);
     }
 
     /// Schedule `event` to fire as soon as possible (same timestamp, after
@@ -62,19 +90,22 @@ impl<E> Scheduler<E> {
     }
 }
 
-impl<E> Default for Scheduler<E> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 /// The mutable simulation state and its event handler.
+///
+/// `handle` is generic over the queue implementation behind the scheduler
+/// so one `World` can be driven by any [`Queue`] — the engine's default
+/// timing wheel or the reference binary heap (equivalence tests).
 pub trait World {
     /// The event type this world handles.
     type Event;
 
     /// Handle one event at time `now`. May schedule more via `sched`.
-    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+    fn handle<Q: Queue<Self::Event>>(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        sched: &mut Scheduler<Self::Event, Q>,
+    );
 }
 
 /// Outcome of driving a simulation.
@@ -82,7 +113,9 @@ pub trait World {
 pub enum RunOutcome {
     /// The event queue drained before the deadline.
     QueueEmpty {
-        /// Time of the last dispatched event.
+        /// Time of the last dispatched event. (The clock itself still
+        /// advances to the deadline, so relative scheduling after a
+        /// drained `run_until` is anchored at the deadline.)
         at: SimTime,
     },
     /// The deadline was reached with events still pending.
@@ -117,11 +150,11 @@ impl DispatchProfile {
 }
 
 /// Drives a `World` and its scheduler.
-pub struct Engine<W: World> {
+pub struct Engine<W: World, Q: Queue<W::Event> = EventQueue<<W as World>::Event>> {
     /// The simulation state.
     pub world: W,
     /// The clock and event queue.
-    pub sched: Scheduler<W::Event>,
+    pub sched: Scheduler<W::Event, Q>,
     /// Safety valve: maximum events per `run_until` call (default: no limit).
     pub event_budget: Option<u64>,
     /// Dispatch profiling accumulator (`None` = off, the default).
@@ -129,11 +162,18 @@ pub struct Engine<W: World> {
 }
 
 impl<W: World> Engine<W> {
-    /// An engine with an empty queue wrapping `world`.
+    /// An engine with an empty (timing-wheel) queue wrapping `world`.
     pub fn new(world: W) -> Self {
+        Self::with_queue(world)
+    }
+}
+
+impl<W: World, Q: Queue<W::Event>> Engine<W, Q> {
+    /// An engine over queue implementation `Q` wrapping `world`.
+    pub fn with_queue(world: W) -> Self {
         Engine {
             world,
-            sched: Scheduler::new(),
+            sched: Scheduler::with_queue(),
             event_budget: None,
             profile: None,
         }
@@ -156,6 +196,13 @@ impl<W: World> Engine<W> {
 
     /// Run until `deadline` (inclusive: events stamped exactly at the
     /// deadline still run), the queue empties, or the budget runs out.
+    ///
+    /// On return the clock is at `deadline` (clamped to the last event
+    /// time when the deadline is [`SimTime::MAX`], i.e. for
+    /// [`run_to_completion`](Self::run_to_completion)) — even when the
+    /// queue drained early. Callers that alternate drain/refill thus
+    /// anchor subsequent relative scheduling at the deadline, not at
+    /// whatever instant the last event happened to fire.
     pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
         if self.profile.is_none() {
             return self.run_until_inner(deadline);
@@ -173,7 +220,16 @@ impl<W: World> Engine<W> {
         let mut budget = self.event_budget;
         loop {
             let Some(t) = self.sched.queue.peek_time() else {
-                return RunOutcome::QueueEmpty { at: self.sched.now };
+                let at = self.sched.now;
+                // Advance the clock to the deadline so relative `after()`
+                // scheduling by the caller is computed from the right
+                // instant. `SimTime::MAX` is the run-to-completion
+                // sentinel, not a meaningful instant — keep the
+                // last-event time there.
+                if deadline != SimTime::MAX {
+                    self.sched.now = deadline;
+                }
+                return RunOutcome::QueueEmpty { at };
             };
             if t > deadline {
                 self.sched.now = deadline;
@@ -186,7 +242,9 @@ impl<W: World> Engine<W> {
                 *b -= 1;
             }
             let (t, ev) = self.sched.queue.pop().expect("peeked");
-            debug_assert!(t >= self.sched.now, "event from the past");
+            // Defence in depth (queues clamp on push already): never let
+            // the clock move backwards, in any build profile.
+            let t = t.max(self.sched.now);
             self.sched.now = t;
             self.world.handle(t, ev, &mut self.sched);
         }
@@ -201,6 +259,7 @@ impl<W: World> Engine<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::BinaryHeapQueue;
 
     /// A toy world: a ping-pong counter that reschedules itself N times.
     struct PingPong {
@@ -215,7 +274,7 @@ mod tests {
 
     impl World for PingPong {
         type Event = Ev;
-        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        fn handle<Q: Queue<Ev>>(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev, Q>) {
             match ev {
                 Ev::Ping => {
                     self.log.push((now.as_nanos(), "ping"));
@@ -270,6 +329,68 @@ mod tests {
     }
 
     #[test]
+    fn queue_empty_advances_clock_to_deadline() {
+        // Regression: `run_until` used to leave `now` at the last event
+        // time when the queue drained early, so a caller alternating
+        // drain/refill would anchor relative `after()` scheduling at the
+        // wrong instant.
+        let mut eng = Engine::new(PingPong {
+            remaining: 0,
+            log: vec![],
+        });
+        eng.sched.immediately(Ev::Ping); // fires at t=0, schedules nothing
+        let out = eng.run_until(SimTime::from_micros(100));
+        assert_eq!(
+            out,
+            RunOutcome::QueueEmpty {
+                at: SimTime::ZERO // last event time is still reported
+            }
+        );
+        assert_eq!(eng.now(), SimTime::from_micros(100), "clock at deadline");
+        // Refill relative to "now": the event must land at 100us + 10ns,
+        // not at 10ns (the pong then schedules one final ping +10ns).
+        eng.sched.after(SimDuration::from_nanos(10), Ev::Pong);
+        eng.run_until(SimTime::from_micros(200));
+        let base = SimTime::from_micros(100).as_nanos();
+        assert_eq!(
+            eng.world.log,
+            [(0, "ping"), (base + 10, "pong"), (base + 20, "ping")]
+        );
+    }
+
+    #[test]
+    fn past_time_scheduling_clamps_to_now_in_all_profiles() {
+        // `Scheduler::at` with a past timestamp must not reorder the
+        // simulation (it used to be only a debug_assert, so release
+        // builds silently violated event ordering).
+        struct Rewinder {
+            log: Vec<(u64, u32)>,
+        }
+        impl World for Rewinder {
+            type Event = u32;
+            fn handle<Q: Queue<u32>>(
+                &mut self,
+                now: SimTime,
+                ev: u32,
+                sched: &mut Scheduler<u32, Q>,
+            ) {
+                self.log.push((now.as_nanos(), ev));
+                if ev == 0 {
+                    // Attempt to schedule 50ns into the past.
+                    sched.at(SimTime::from_nanos(50), 1);
+                }
+            }
+        }
+        let mut eng = Engine::new(Rewinder { log: vec![] });
+        eng.sched.at(SimTime::from_nanos(100), 0);
+        eng.run_to_completion();
+        // The past event fired at now (100), not at 50, and after the
+        // event that scheduled it.
+        assert_eq!(eng.world.log, [(100, 0), (100, 1)]);
+        assert_eq!(eng.now().as_nanos(), 100);
+    }
+
+    #[test]
     fn event_budget_guards_runaway() {
         let mut eng = Engine::new(PingPong {
             remaining: u32::MAX,
@@ -314,7 +435,12 @@ mod tests {
         }
         impl World for Fanout {
             type Event = u32;
-            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            fn handle<Q: Queue<u32>>(
+                &mut self,
+                _now: SimTime,
+                ev: u32,
+                sched: &mut Scheduler<u32, Q>,
+            ) {
                 self.log.push(ev);
                 if ev == 0 {
                     sched.immediately(1);
@@ -327,5 +453,23 @@ mod tests {
         eng.run_to_completion();
         assert_eq!(eng.world.log, [0, 1, 2]);
         assert_eq!(eng.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn heap_engine_matches_wheel_engine() {
+        // The same world driven by both queue implementations must
+        // produce identical logs, clocks and dispatch counts.
+        fn drive<Q: Queue<Ev>>(mut eng: Engine<PingPong, Q>) -> (Vec<(u64, &'static str)>, u64) {
+            eng.sched.immediately(Ev::Ping);
+            eng.run_to_completion();
+            (eng.world.log, eng.sched.dispatched_total())
+        }
+        let mk = || PingPong {
+            remaining: 1000,
+            log: vec![],
+        };
+        let wheel = drive(Engine::new(mk()));
+        let heap = drive(Engine::<PingPong, BinaryHeapQueue<Ev>>::with_queue(mk()));
+        assert_eq!(wheel, heap);
     }
 }

@@ -43,6 +43,14 @@ impl Histogram {
         }
     }
 
+    /// Bucket layout: values below `2^sub_bits` are stored exactly
+    /// (index == value). Every octave above that gets a **full**
+    /// `2^sub_bits`-entry bucket — unlike HdrHistogram's half-octave
+    /// scheme, the leading bit is stored rather than implied, trading
+    /// ~2× bucket memory for branch-free indexing. For a value with
+    /// `bits` significant bits the sub-bucket width is `2^(bits-sub-1)`,
+    /// so the relative quantization error is bounded by `2^-sub_bits`
+    /// (1/32 at the default precision).
     #[inline]
     fn index_of(&self, value: u64) -> usize {
         let sub = self.sub_bits;
@@ -53,9 +61,9 @@ impl Histogram {
         }
         let shift = bits - sub - 1;
         let bucket = shift as usize + 1;
+        // The top sub_bits+1 significant bits of `value`; the leading bit
+        // is masked off because `bucket` already encodes the octave.
         let sub_idx = ((value >> shift) as usize) & ((1 << sub) - 1);
-        // bucket 0 occupies a full 2^sub entries; each later bucket adds
-        // the upper half (2^(sub-1))... we use the simpler full-size layout:
         bucket * (1 << sub) + sub_idx
     }
 
@@ -265,17 +273,37 @@ mod tests {
 
     #[test]
     fn index_value_roundtrip_monotone() {
+        // Seeded property test over random (mostly non-power-of-two)
+        // values spanning the full u64 octave range: the index must be
+        // monotone in the value, the bucket lower bound must round-trip
+        // back to the same index, and the end-to-end quantization error
+        // must respect the documented 2^-sub_bits (1/32) bound.
+        use crate::rng::SimRng;
         let h = Histogram::new();
+        let mut rng = SimRng::new(0x41D5_7031);
+        let mut values: Vec<u64> = Vec::with_capacity(4_200);
+        for _ in 0..4_000 {
+            // Uniform over octaves, then uniform within the octave, so
+            // small and huge magnitudes are equally represented.
+            let bits = rng.next_range(1, 63);
+            values.push(rng.next_range(1u64 << (bits - 1), (1u64 << bits) - 1));
+        }
+        // Keep the old deterministic edge cases: exact powers of two.
+        values.extend((0..64).map(|e| 1u64 << e));
+        values.sort_unstable();
         let mut last_idx = 0usize;
-        for exp in 0..40 {
-            let v = 1u64 << exp;
+        for &v in &values {
             let idx = h.index_of(v);
-            assert!(idx >= last_idx, "index must be monotone in value");
+            assert!(idx >= last_idx, "index must be monotone in value ({v})");
             last_idx = idx;
             let lo = h.value_of(idx);
             assert!(lo <= v, "bucket lower bound {lo} must be <= {v}");
+            assert_eq!(h.index_of(lo), idx, "lower bound must round-trip");
             // Relative error bound: bucket width / value <= 2^-sub_bits.
-            assert!((v - lo) as f64 / v as f64 <= 1.0 / 32.0 + 1e-12);
+            assert!(
+                (v - lo) as f64 / v as f64 <= 1.0 / 32.0 + 1e-12,
+                "value {v} quantized to {lo} exceeds the 1/32 bound"
+            );
         }
     }
 }

@@ -7,8 +7,11 @@
 //! and nothing else:
 //!
 //! * [`SimTime`]/[`SimDuration`] — integer-nanosecond simulated time;
-//! * [`EventQueue`] — a deterministic (FIFO tie-break) min-priority queue;
-//! * [`Engine`]/[`World`]/[`Scheduler`] — the event loop;
+//! * [`EventQueue`] — a deterministic (FIFO tie-break) min-priority queue:
+//!   an alias for the [`TimingWheel`], with [`BinaryHeapQueue`] kept as the
+//!   reference implementation behind the shared [`Queue`] trait;
+//! * [`Engine`]/[`World`]/[`Scheduler`] — the event loop, generic over the
+//!   queue implementation;
 //! * [`SimRng`] — a seedable, stable xoshiro256** generator;
 //! * statistics: [`Running`], [`RateMeter`], [`Ewma`], [`TimeSeries`],
 //!   [`Histogram`];
@@ -28,11 +31,16 @@ mod queue;
 mod rng;
 mod stats;
 mod time;
+mod wheel;
 
 pub use engine::{DispatchProfile, Engine, RunOutcome, Scheduler, World};
 pub use hist::Histogram;
 pub use pacer::{SerialLink, TokenBucket};
-pub use queue::EventQueue;
-pub use rng::{SimRng, SplitMix64};
+pub use queue::{BinaryHeapQueue, Queue};
+pub use rng::{stream_seed, SimRng, SplitMix64};
+pub use wheel::TimingWheel;
+
+/// The engine's default event queue: the timing wheel.
+pub type EventQueue<E> = TimingWheel<E>;
 pub use stats::{Ewma, RateMeter, Running, TimeSeries};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -3,15 +3,57 @@
 //! Events are ordered by timestamp; events with equal timestamps pop in
 //! insertion (FIFO) order so the simulation is fully deterministic — a plain
 //! `BinaryHeap` over `(time, payload)` would break ties arbitrarily.
+//!
+//! Two implementations share the [`Queue`] interface:
+//!
+//! * [`TimingWheel`](crate::TimingWheel) — the default ([`EventQueue`] is an
+//!   alias for it): a timing wheel with an overflow heap, tuned for the
+//!   near-future-dominated schedules a packet-level simulator produces;
+//! * [`BinaryHeapQueue`] — the classic `(time, seq)` binary heap, kept as
+//!   the reference implementation for equivalence testing.
+//!
+//! Both are bit-for-bit deterministic: for any interleaving of pushes and
+//! pops, they return the same events in the same order.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// The interface the engine requires of an event queue: a deterministic
+/// min-priority queue over `(SimTime, E)` with FIFO ordering for equal
+/// timestamps.
+pub trait Queue<E> {
+    /// An empty queue.
+    fn new() -> Self;
+
+    /// Schedule `event` to fire at `time`.
+    fn push(&mut self, time: SimTime, event: E);
+
+    /// Remove and return the earliest event, if any.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Timestamp of the earliest pending event.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    fn scheduled_total(&self) -> u64;
+
+    /// Total number of events dispatched over the queue's lifetime.
+    fn dispatched_total(&self) -> u64;
+}
+
+pub(crate) struct Entry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -37,23 +79,24 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic min-priority queue of timestamped events.
-pub struct EventQueue<E> {
+/// A deterministic min-priority queue of timestamped events backed by a
+/// binary heap with an insertion-sequence tie-break.
+pub struct BinaryHeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for BinaryHeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> BinaryHeapQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
@@ -62,49 +105,48 @@ impl<E> EventQueue<E> {
 
     /// An empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        BinaryHeapQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             popped: 0,
         }
     }
+}
 
-    /// Schedule `event` to fire at `time`.
-    pub fn push(&mut self, time: SimTime, event: E) {
+impl<E> Queue<E> for BinaryHeapQueue<E> {
+    fn new() -> Self {
+        BinaryHeapQueue::new()
+    }
+
+    fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
     }
 
-    /// Remove and return the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<(SimTime, E)> {
         let e = self.heap.pop()?;
         self.popped += 1;
         Some((e.time, e.event))
     }
 
-    /// Timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// Whether no events are pending.
-    pub fn is_empty(&self) -> bool {
+    fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
-    /// Total number of events scheduled over the queue's lifetime.
-    pub fn scheduled_total(&self) -> u64 {
+    fn scheduled_total(&self) -> u64 {
         self.next_seq
     }
 
-    /// Total number of events dispatched over the queue's lifetime.
-    pub fn dispatched_total(&self) -> u64 {
+    fn dispatched_total(&self) -> u64 {
         self.popped
     }
 }
@@ -113,10 +155,13 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
     use crate::time::SimTime;
+    use crate::wheel::TimingWheel;
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+    fn impls<E>() -> (BinaryHeapQueue<E>, TimingWheel<E>) {
+        (BinaryHeapQueue::new(), TimingWheel::new())
+    }
+
+    fn pops_in_time_order<Q: Queue<&'static str>>(mut q: Q) {
         q.push(SimTime::from_nanos(30), "c");
         q.push(SimTime::from_nanos(10), "a");
         q.push(SimTime::from_nanos(20), "b");
@@ -126,9 +171,7 @@ mod tests {
         assert_eq!(q.pop(), None);
     }
 
-    #[test]
-    fn equal_times_pop_fifo() {
-        let mut q = EventQueue::new();
+    fn equal_times_pop_fifo<Q: Queue<i32>>(mut q: Q) {
         let t = SimTime::from_nanos(5);
         for i in 0..100 {
             q.push(t, i);
@@ -138,9 +181,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
+    fn interleaved_push_pop_stays_ordered<Q: Queue<i32>>(mut q: Q) {
         q.push(SimTime::from_nanos(10), 1);
         q.push(SimTime::from_nanos(5), 0);
         assert_eq!(q.pop().unwrap().1, 0);
@@ -149,9 +190,7 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 1);
     }
 
-    #[test]
-    fn counters_track_lifetime_totals() {
-        let mut q = EventQueue::new();
+    fn counters_track_lifetime_totals<Q: Queue<()>>(mut q: Q) {
         q.push(SimTime::ZERO, ());
         q.push(SimTime::ZERO, ());
         assert_eq!(q.scheduled_total(), 2);
@@ -161,14 +200,89 @@ mod tests {
         assert!(!q.is_empty());
     }
 
-    #[test]
-    fn peek_time_matches_next_pop() {
-        let mut q = EventQueue::new();
+    fn peek_time_matches_next_pop<Q: Queue<()>>(mut q: Q) {
         assert_eq!(q.peek_time(), None);
         q.push(SimTime::from_nanos(42), ());
         q.push(SimTime::from_nanos(17), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(17)));
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_nanos(17));
+    }
+
+    #[test]
+    fn both_impls_pop_in_time_order() {
+        let (h, w) = impls();
+        pops_in_time_order(h);
+        pops_in_time_order(w);
+    }
+
+    #[test]
+    fn both_impls_pop_equal_times_fifo() {
+        let (h, w) = impls();
+        equal_times_pop_fifo(h);
+        equal_times_pop_fifo(w);
+    }
+
+    #[test]
+    fn both_impls_stay_ordered_under_interleaving() {
+        let (h, w) = impls();
+        interleaved_push_pop_stays_ordered(h);
+        interleaved_push_pop_stays_ordered(w);
+    }
+
+    #[test]
+    fn both_impls_track_lifetime_totals() {
+        let (h, w) = impls();
+        counters_track_lifetime_totals(h);
+        counters_track_lifetime_totals(w);
+    }
+
+    #[test]
+    fn both_impls_peek_next_pop() {
+        let (h, w) = impls();
+        peek_time_matches_next_pop(h);
+        peek_time_matches_next_pop(w);
+    }
+
+    /// Randomised differential test: any interleaving of pushes and pops
+    /// must produce identical sequences from both implementations.
+    #[test]
+    fn heap_and_wheel_agree_on_random_workloads() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::new(0xE0E0_1234);
+        let mut heap: BinaryHeapQueue<u32> = BinaryHeapQueue::new();
+        let mut wheel: TimingWheel<u32> = TimingWheel::new();
+        let mut now = 0u64;
+        let mut id = 0u32;
+        for _ in 0..200_000 {
+            if rng.chance(0.55) || heap.is_empty() {
+                // Mix of near-future (wheel) and far-future (overflow)
+                // horizons, including exact ties at the current time.
+                let delay = match rng.next_below(10) {
+                    0 => 0,
+                    1..=6 => rng.next_below(2_000),
+                    7 | 8 => rng.next_below(200_000),
+                    _ => rng.next_below(20_000_000),
+                };
+                let t = SimTime::from_nanos(now + delay);
+                heap.push(t, id);
+                wheel.push(t, id);
+                id += 1;
+            } else {
+                let a = heap.pop();
+                let b = wheel.pop();
+                assert_eq!(a, b, "heap and wheel diverged");
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        assert_eq!(heap.peek_time(), wheel.peek_time());
+        while let Some(a) = heap.pop() {
+            assert_eq!(Some(a), wheel.pop());
+        }
+        assert_eq!(wheel.pop(), None);
+        assert_eq!(heap.scheduled_total(), wheel.scheduled_total());
+        assert_eq!(heap.dispatched_total(), wheel.dispatched_total());
     }
 }

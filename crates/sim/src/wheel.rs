@@ -1,0 +1,497 @@
+//! A timing-wheel event queue with an overflow heap.
+//!
+//! The dispatch loop of a packet-level simulator schedules almost
+//! exclusively into the near future: serialisation delays, PCIe/memory
+//! latencies and per-packet CPU costs are nanoseconds to microseconds,
+//! while only periodic timers (RTO sweeps, memory ticks) and long pacing
+//! holds look further ahead. A binary heap pays `O(log n)` comparisons —
+//! and moves event payloads across heap levels — on every push and pop
+//! regardless of that structure. The timing wheel exploits it:
+//!
+//! * a circular window of `2^16` slots at **1 ns granularity** covers a
+//!   ~65 µs horizon; pushing an event inside the horizon is one index
+//!   computation plus one linked-list splice;
+//! * events beyond the horizon go to a small overflow heap keyed by
+//!   `(time, seq)` and migrate into the wheel as the window advances;
+//! * a two-level occupancy bitmap (one bit per slot, one summary bit per
+//!   bitmap word) finds the next non-empty slot in a handful of word
+//!   reads regardless of how sparse the schedule is.
+//!
+//! The cache layout is the point. Events live in one contiguous node
+//! arena recycled through a LIFO free list, so the handful of in-flight
+//! nodes stay hot; a slot is a single `u32` list head (4 bytes — a cache
+//! line covers 16 adjacent slots, and near-future schedules cluster);
+//! and slot lists are stored *reversed* (push-at-head) so pushes never
+//! chase a tail pointer. The list is reversed once, in place, when the
+//! cursor reaches the slot — O(1) amortised per event — which restores
+//! FIFO order exactly.
+//!
+//! Determinism is preserved bit-for-bit relative to the reference
+//! [`BinaryHeapQueue`](crate::BinaryHeapQueue): the 1 ns slot granularity
+//! means every entry in a slot shares one timestamp, so FIFO order within
+//! a slot *is* insertion order, and the overflow heap orders equal times
+//! by insertion sequence. An event can only sit in the overflow heap
+//! while its timestamp is outside the wheel horizon, and the horizon is
+//! refilled from the heap on every window advance **before** new pushes
+//! can land in the same slot — so cross-structure FIFO violations cannot
+//! occur.
+
+use crate::queue::{Entry, Queue};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// log2 of the slot count: 2^16 slots × 1 ns = ~65 µs horizon.
+const SLOT_BITS: u32 = 16;
+/// Number of wheel slots.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Slot index mask.
+const MASK: usize = SLOTS - 1;
+/// Occupancy bitmap words.
+const WORDS: usize = SLOTS / 64;
+/// Summary words (one bit per occupancy word). Requires `WORDS >= 64`.
+const SUM_WORDS: usize = WORDS / 64;
+
+/// Null link in the node arena.
+const NIL: u32 = u32::MAX;
+
+/// One arena node: an event payload plus the intrusive list link.
+struct Node<E> {
+    /// `None` only while the node sits on the free list.
+    event: Option<E>,
+    next: u32,
+}
+
+/// A deterministic min-priority event queue backed by a timing wheel with
+/// an overflow heap (see the module docs for the design).
+///
+/// This is the engine's default queue; [`EventQueue`](crate::EventQueue)
+/// is an alias for it.
+pub struct TimingWheel<E> {
+    /// Contiguous node storage; freed nodes are recycled LIFO via `free`.
+    nodes: Vec<Node<E>>,
+    /// Free-list head (`NIL` when the arena has no holes).
+    free: u32,
+    /// Per-slot list head, stored in *reverse* insertion order.
+    heads: Vec<u32>,
+    /// One bit per slot: set iff the slot's `heads` list is non-empty.
+    occupied: Vec<u64>,
+    /// One bit per `occupied` word: set iff that word is non-zero.
+    summary: [u64; SUM_WORDS],
+    /// Absolute time (ns) of the slot at `cursor`. No pending event is
+    /// earlier than `base`.
+    base: u64,
+    /// Slot index corresponding to `base`.
+    cursor: usize,
+    /// Drain list of the cursor slot, already reversed into FIFO order.
+    /// Pushes at exactly `base` append here (tail pointer kept only for
+    /// this one active slot).
+    cur_head: u32,
+    cur_tail: u32,
+    /// Events currently stored in wheel slots (including the drain list).
+    wheel_len: usize,
+    /// Events at `time - base >= SLOTS`, ordered by `(time, seq)`.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Cached earliest pending timestamp (`None` when empty).
+    next_time: Option<u64>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimingWheel<E> {
+    /// An empty queue with its window starting at t = 0.
+    pub fn new() -> Self {
+        TimingWheel {
+            nodes: Vec::new(),
+            free: NIL,
+            heads: vec![NIL; SLOTS],
+            occupied: vec![0u64; WORDS],
+            summary: [0u64; SUM_WORDS],
+            base: 0,
+            cursor: 0,
+            cur_head: NIL,
+            cur_tail: NIL,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            next_time: None,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// An empty queue with pre-allocated node and overflow capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        q.nodes.reserve(cap);
+        q.overflow.reserve(cap);
+        q
+    }
+
+    #[inline]
+    fn slot_of(&self, time: u64) -> usize {
+        (self.cursor + (time - self.base) as usize) & MASK
+    }
+
+    #[inline]
+    fn set_bit(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.occupied[w] |= 1u64 << (slot & 63);
+        self.summary[w >> 6] |= 1u64 << (w & 63);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, slot: usize) {
+        let w = slot >> 6;
+        let m = self.occupied[w] & !(1u64 << (slot & 63));
+        self.occupied[w] = m;
+        if m == 0 {
+            self.summary[w >> 6] &= !(1u64 << (w & 63));
+        }
+    }
+
+    /// Take a node from the free list (or grow the arena).
+    #[inline]
+    fn alloc(&mut self, event: E, next: u32) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.nodes[idx as usize];
+            self.free = node.next;
+            node.event = Some(event);
+            node.next = next;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                event: Some(event),
+                next,
+            });
+            idx
+        }
+    }
+
+    /// Append a node (already holding its event) to the drain list.
+    #[inline]
+    fn cur_append(&mut self, idx: u32) {
+        self.nodes[idx as usize].next = NIL;
+        if self.cur_tail == NIL {
+            self.cur_head = idx;
+        } else {
+            self.nodes[self.cur_tail as usize].next = idx;
+        }
+        self.cur_tail = idx;
+    }
+
+    /// Schedule `event` at `time`. Times earlier than the window base
+    /// (already-dispatched territory) are clamped to the base, matching
+    /// the scheduler's past-time clamping policy.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let t = time.as_nanos().max(self.base);
+        if t == self.base {
+            // The active slot: append to the (FIFO-ordered) drain list.
+            let idx = self.alloc(event, NIL);
+            self.cur_append(idx);
+            self.wheel_len += 1;
+        } else if t - self.base < SLOTS as u64 {
+            let slot = self.slot_of(t);
+            let head = self.heads[slot];
+            self.heads[slot] = self.alloc(event, head);
+            self.set_bit(slot);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Entry {
+                time: SimTime::from_nanos(t),
+                seq,
+                event,
+            });
+        }
+        if self.next_time.map(|n| t < n).unwrap_or(true) {
+            self.next_time = Some(t);
+        }
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let t = self.next_time?;
+        if t != self.base {
+            self.advance_to(t);
+        }
+        debug_assert!(self.cur_head != NIL, "cached next time but empty slot");
+        let idx = self.cur_head;
+        let node = &mut self.nodes[idx as usize];
+        let event = node.event.take().expect("live node");
+        self.cur_head = node.next;
+        node.next = self.free;
+        self.free = idx;
+        self.wheel_len -= 1;
+        self.popped += 1;
+        if self.cur_head == NIL {
+            self.cur_tail = NIL;
+            self.clear_bit(self.cursor);
+            self.next_time = self.scan_next();
+        }
+        Some((SimTime::from_nanos(t), event))
+    }
+
+    /// Move the window so that `t` (the cached earliest pending time) is
+    /// the base slot, reverse that slot's list into the drain list, then
+    /// migrate every overflow event that now falls inside the horizon.
+    fn advance_to(&mut self, t: u64) {
+        debug_assert!(t > self.base);
+        debug_assert!(self.cur_head == NIL, "drain list empties before base moves");
+        if t - self.base < SLOTS as u64 {
+            self.cursor = self.slot_of(t);
+        }
+        // Else: the wheel is empty (its entries all precede base+SLOTS,
+        // and t is the minimum) — keep the cursor, rebase the window.
+        self.base = t;
+        // Reverse the slot's push-at-head list into FIFO drain order.
+        let mut h = std::mem::replace(&mut self.heads[self.cursor], NIL);
+        let tail = h;
+        let mut prev = NIL;
+        while h != NIL {
+            let next = self.nodes[h as usize].next;
+            self.nodes[h as usize].next = prev;
+            prev = h;
+            h = next;
+        }
+        self.cur_head = prev;
+        self.cur_tail = tail;
+        // Migrate newly-visible overflow events. Ties at `t` append to the
+        // drain list in heap order (= seq order, before any later push);
+        // future times push-at-head like any other insertion.
+        while let Some(head) = self.overflow.peek() {
+            if head.time.as_nanos() - self.base >= SLOTS as u64 {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            let at = e.time.as_nanos();
+            if at == self.base {
+                let idx = self.alloc(e.event, NIL);
+                self.cur_append(idx);
+            } else {
+                let slot = self.slot_of(at);
+                let head = self.heads[slot];
+                self.heads[slot] = self.alloc(e.event, head);
+                self.set_bit(slot);
+            }
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Earliest pending timestamp after the base slot emptied: the next
+    /// occupied slot (circular two-level bitmap scan from the cursor), or
+    /// the overflow minimum when the wheel is empty.
+    fn scan_next(&self) -> Option<u64> {
+        if self.wheel_len == 0 {
+            return self.overflow.peek().map(|e| e.time.as_nanos());
+        }
+        let sw = self.cursor >> 6;
+        let sb = self.cursor & 63;
+        // 1) Slots at/after the cursor within the cursor's bitmap word.
+        //    (The cursor's own bit was cleared before this scan.)
+        let w = self.occupied[sw] & (!0u64 << sb);
+        if w != 0 {
+            return Some(self.time_of((sw << 6) + w.trailing_zeros() as usize));
+        }
+        // 2) Words strictly after `sw` within the same summary word.
+        let hi = self.summary[sw >> 6] & (!0u64 << (sw & 63)) & !(1u64 << (sw & 63));
+        if hi != 0 {
+            return Some(self.first_in_word(((sw >> 6) << 6) + hi.trailing_zeros() as usize));
+        }
+        // 3) Remaining summary words, wrapping once around the wheel.
+        for j in 1..SUM_WORDS {
+            let sj = ((sw >> 6) + j) & (SUM_WORDS - 1);
+            let s = self.summary[sj];
+            if s != 0 {
+                return Some(self.first_in_word((sj << 6) + s.trailing_zeros() as usize));
+            }
+        }
+        // 4) Words strictly before `sw` in the cursor's summary word.
+        let lo = self.summary[sw >> 6] & ((1u64 << (sw & 63)) - 1);
+        if lo != 0 {
+            return Some(self.first_in_word(((sw >> 6) << 6) + lo.trailing_zeros() as usize));
+        }
+        // 5) Slots before the cursor within the cursor's bitmap word
+        //    (the far end of the circular window).
+        let w = self.occupied[sw] & !(!0u64 << sb);
+        debug_assert!(w != 0, "wheel_len > 0 but no occupied slot");
+        Some(self.time_of((sw << 6) + w.trailing_zeros() as usize))
+    }
+
+    /// Timestamp of the first occupied slot in occupancy word `word`.
+    #[inline]
+    fn first_in_word(&self, word: usize) -> u64 {
+        let w = self.occupied[word];
+        debug_assert!(w != 0, "summary bit set for empty word");
+        self.time_of((word << 6) + w.trailing_zeros() as usize)
+    }
+
+    /// Absolute time of `slot` under the current window.
+    #[inline]
+    fn time_of(&self, slot: usize) -> u64 {
+        self.base + (slot.wrapping_sub(self.cursor) & MASK) as u64
+    }
+
+    /// Timestamp of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.next_time.map(SimTime::from_nanos)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total number of events dispatched over the queue's lifetime.
+    pub fn dispatched_total(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Queue<E> for TimingWheel<E> {
+    fn new() -> Self {
+        TimingWheel::new()
+    }
+
+    fn push(&mut self, time: SimTime, event: E) {
+        TimingWheel::push(self, time, event)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        TimingWheel::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        TimingWheel::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        TimingWheel::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        TimingWheel::is_empty(self)
+    }
+
+    fn scheduled_total(&self) -> u64 {
+        TimingWheel::scheduled_total(self)
+    }
+
+    fn dispatched_total(&self) -> u64 {
+        TimingWheel::dispatched_total(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        let mut q: TimingWheel<u32> = TimingWheel::new();
+        // Beyond the 65 µs horizon: lands in the overflow heap.
+        q.push(SimTime::from_millis(5), 1);
+        q.push(SimTime::from_millis(1), 0);
+        q.push(SimTime::from_millis(9), 2);
+        assert_eq!(q.len(), 3);
+        for want in 0..3 {
+            let (_, got) = q.pop().unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_ties_stay_fifo_across_migration() {
+        let mut q: TimingWheel<u32> = TimingWheel::new();
+        let t = SimTime::from_millis(2);
+        for i in 0..50 {
+            q.push(t, i);
+        }
+        // Force a window advance through an intermediate event.
+        q.push(SimTime::from_micros(10), 999);
+        assert_eq!(q.pop().unwrap().1, 999);
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap(), (t, i));
+        }
+    }
+
+    #[test]
+    fn slot_lists_drain_in_insertion_order() {
+        let mut q: TimingWheel<u32> = TimingWheel::new();
+        // Many entries in one future slot: the reversed list must come
+        // back out FIFO after the lazy reversal at the cursor.
+        let t = SimTime::from_nanos(500);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap(), (t, i));
+        }
+        // And pushes at the (new) base append after drained entries.
+        q.push(t, 200);
+        q.push(t, 201);
+        assert_eq!(q.pop().unwrap(), (t, 200));
+        q.push(t, 202);
+        assert_eq!(q.pop().unwrap(), (t, 201));
+        assert_eq!(q.pop().unwrap(), (t, 202));
+    }
+
+    #[test]
+    fn horizon_boundary_is_exact() {
+        let mut q: TimingWheel<u32> = TimingWheel::new();
+        let horizon = SLOTS as u64;
+        q.push(SimTime::from_nanos(horizon - 1), 0); // last wheel slot
+        q.push(SimTime::from_nanos(horizon), 1); // first overflow time
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(horizon - 1), 0)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(horizon), 1)));
+    }
+
+    #[test]
+    fn past_time_pushes_clamp_to_window_base() {
+        let mut q: TimingWheel<u32> = TimingWheel::new();
+        q.push(SimTime::from_nanos(100), 0);
+        assert_eq!(q.pop().unwrap().0.as_nanos(), 100);
+        // The window base is now 100; a push at 40 clamps to 100.
+        q.push(SimTime::from_nanos(40), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(100), 1)));
+    }
+
+    #[test]
+    fn wrapping_window_reuses_slots() {
+        let mut q: TimingWheel<u32> = TimingWheel::new();
+        let mut now = 0u64;
+        // March far enough that the cursor wraps several times.
+        for i in 0..10 * SLOTS as u32 {
+            q.push(SimTime::from_nanos(now + 17), i);
+            let (t, got) = q.pop().unwrap();
+            assert_eq!(got, i);
+            now = t.as_nanos();
+        }
+        assert_eq!(now, 17 * 10 * SLOTS as u64);
+        assert!(q.is_empty());
+        assert_eq!(q.dispatched_total(), 10 * SLOTS as u64);
+        // The node arena stayed tiny: one in-flight event at a time.
+        assert!(q.nodes.len() <= 2, "free list should recycle nodes");
+    }
+}

@@ -1,0 +1,104 @@
+//! Queue-implementation equivalence: the timing-wheel event queue must be
+//! a *perfect* drop-in for the reference binary heap.
+//!
+//! The engine's determinism contract is that event order depends only on
+//! `(time, insertion seq)`. Both queue implementations promise that order
+//! bit-for-bit, so the same seeded scenario driven through either must
+//! produce identical metrics — down to histogram quantiles and occupancy
+//! sample vectors — and dispatch exactly the same number of events.
+
+use hostcc::experiment::RunPlan;
+use hostcc::{metrics_json, scenarios, RunMetrics, Simulation, TestbedConfig};
+
+fn shrink(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.senders = 8;
+    cfg.receiver_threads = 4;
+    cfg
+}
+
+/// Run one config on both queues and assert bit-identical outcomes.
+fn assert_equivalent(name: &str, cfg: TestbedConfig) {
+    let plan = RunPlan::quick();
+
+    let mut wheel = Simulation::new(cfg.clone());
+    let m_wheel = wheel.run(plan.warmup, plan.measure);
+    let mut heap = Simulation::with_heap_queue(cfg);
+    let m_heap = heap.run(plan.warmup, plan.measure);
+
+    // Identical dispatched-event counts.
+    assert_eq!(
+        wheel.dispatched_total(),
+        heap.dispatched_total(),
+        "{name}: dispatched-event counts diverged"
+    );
+
+    // Identical RunMetrics. The JSON export covers every headline field,
+    // both latency histograms and the per-stage breakdown; the raw
+    // field-level checks below catch anything the export rounds.
+    let json_wheel = metrics_json(&m_wheel, &wheel.world().counters, None);
+    let json_heap = metrics_json(&m_heap, &heap.world().counters, None);
+    assert_eq!(json_wheel, json_heap, "{name}: metrics JSON diverged");
+    assert_raw_metrics_identical(name, &m_wheel, &m_heap);
+}
+
+fn assert_raw_metrics_identical(name: &str, a: &RunMetrics, b: &RunMetrics) {
+    assert_eq!(a.measured, b.measured, "{name}: measured");
+    assert_eq!(
+        a.delivered_payload_bytes, b.delivered_payload_bytes,
+        "{name}: payload"
+    );
+    assert_eq!(a.delivered_packets, b.delivered_packets, "{name}: packets");
+    assert_eq!(a.data_packets_sent, b.data_packets_sent, "{name}: sent");
+    assert_eq!(
+        (a.drops_buffer_full, a.drops_no_descriptor, a.drops_fabric),
+        (b.drops_buffer_full, b.drops_no_descriptor, b.drops_fabric),
+        "{name}: drops"
+    );
+    assert_eq!(
+        (a.iotlb_lookups, a.iotlb_misses, a.walk_memory_accesses),
+        (b.iotlb_lookups, b.iotlb_misses, b.walk_memory_accesses),
+        "{name}: iotlb"
+    );
+    assert_eq!(a.retransmits, b.retransmits, "{name}: retransmits");
+    assert_eq!(a.timeouts, b.timeouts, "{name}: timeouts");
+    assert_eq!(a.mean_cwnd, b.mean_cwnd, "{name}: cwnd");
+    assert_eq!(
+        a.nic_buffer_peak_bytes, b.nic_buffer_peak_bytes,
+        "{name}: peak buffer"
+    );
+    assert_eq!(
+        a.occupancy_samples, b.occupancy_samples,
+        "{name}: occupancy samples"
+    );
+    // Histograms: exact counts and sums (sums are tracked outside the
+    // buckets, so equality here means every sample value matched).
+    assert_eq!(a.host_delay.count(), b.host_delay.count());
+    assert_eq!(a.host_delay.sum(), b.host_delay.sum());
+    assert_eq!(a.host_delay.min(), b.host_delay.min());
+    assert_eq!(a.host_delay.max(), b.host_delay.max());
+    assert_eq!(a.rtt.count(), b.rtt.count());
+    assert_eq!(a.rtt.sum(), b.rtt.sum());
+    assert_eq!(
+        a.stage_breakdown.total_sum_ns(),
+        b.stage_breakdown.total_sum_ns(),
+        "{name}: stage breakdown"
+    );
+}
+
+#[test]
+fn incast_scenario_is_queue_equivalent() {
+    assert_equivalent("incast", shrink(scenarios::baseline()));
+}
+
+#[test]
+fn antagonist_scenario_is_queue_equivalent() {
+    assert_equivalent("antagonist", shrink(scenarios::fig6(8, true)));
+}
+
+#[test]
+fn strict_iommu_scenario_is_queue_equivalent() {
+    assert_equivalent(
+        "strict-iommu",
+        shrink(scenarios::with_strict_iommu(scenarios::baseline())),
+    );
+}
