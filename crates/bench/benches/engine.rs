@@ -6,9 +6,17 @@
 //! implementations, reads the engine's `DispatchProfile`, and writes
 //! `BENCH_engine.json` at the repo root.
 //!
-//! This is a throughput *report*, not a gate: CI runs it to make sure the
-//! benchmark itself works and archives the JSON; regressions are judged by
-//! humans reading the artifact. Set `HOSTCC_QUICK=1` for a short CI run.
+//! Throughput numbers are a *report* (regressions judged by humans reading
+//! the artifact), but two structural properties are hard *gates* that fail
+//! this binary — and with it the CI bench-smoke job:
+//!
+//! 1. `size_of::<Event>()` must stay within the 24-byte handle-size budget
+//!    (also enforced at compile time in `hostcc-host`);
+//! 2. the steady-state dispatch loop must perform **zero** heap
+//!    allocations per event, measured with a counting global allocator
+//!    (enabled only in this binary) over an unarmed steady-state segment.
+//!
+//! Set `HOSTCC_QUICK=1` for a short CI run.
 
 use hostcc::experiment::RunPlan;
 use hostcc::substrate::host::Event;
@@ -16,7 +24,44 @@ use hostcc::substrate::sim::Queue;
 use hostcc::substrate::trace::json::JsonWriter;
 use hostcc::{scenarios, Simulation, TestbedConfig};
 use hostcc_bench::{plan, quick};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting allocator: every heap allocation (and reallocation) bumps a
+/// counter, then delegates to the system allocator. Installed only in
+/// this bench binary — the library crates stay `forbid(unsafe_code)`.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 /// One scenario: a named bundle of testbed configs run back to back on a
 /// single engine profile (events and wall time accumulate across runs).
@@ -96,14 +141,57 @@ fn run_scenario(sc: &Scenario, plan: &RunPlan) -> (QueueStats, QueueStats) {
     (heap, wheel)
 }
 
+/// Steady-state allocation audit: warm an incast testbed past every
+/// container's peak working set, then count heap allocations across a
+/// measurement segment. Runs with metrics *unarmed* (`advance`, not
+/// `run`) so the audit sees only the dispatch loop, not the metrics
+/// collector's sample vectors. Returns (allocations, events).
+fn audit_steady_state_allocs(plan: &RunPlan) -> (u64, u64) {
+    let mut sim = Simulation::new(scenarios::fig3(12, true));
+    // Warm-up: slabs, rings, flow windows and the wheel arena all grow to
+    // their peak here; a second warmup leg catches late growth (e.g. the
+    // first RTO-driven window excursion).
+    sim.advance(plan.warmup);
+    sim.advance(plan.warmup);
+    let events_before = sim.dispatched_total();
+    let allocs_before = allocs_now();
+    sim.advance(plan.measure);
+    let allocs = allocs_now() - allocs_before;
+    let events = sim.dispatched_total() - events_before;
+    (allocs, events)
+}
+
 fn main() {
     let plan = plan();
+
+    let event_size = std::mem::size_of::<Event>();
+    const EVENT_SIZE_BOUND: usize = 24;
+    assert!(
+        event_size <= EVENT_SIZE_BOUND,
+        "size_of::<Event>() = {event_size} exceeds the {EVENT_SIZE_BOUND}-byte budget"
+    );
+
+    let (ss_allocs, ss_events) = audit_steady_state_allocs(&plan);
+    let allocs_per_event = ss_allocs as f64 / ss_events.max(1) as f64;
+    println!(
+        "event size {event_size} B (bound {EVENT_SIZE_BOUND}); steady state: {ss_allocs} allocs / {ss_events} events = {allocs_per_event:.6} allocs/event"
+    );
+    assert_eq!(
+        ss_allocs, 0,
+        "steady-state dispatch loop allocated {ss_allocs} times over {ss_events} events"
+    );
+
     let mut w = JsonWriter::new();
     w.begin_obj();
     w.key("bench").str("engine");
     w.key("quick").bool(quick());
     w.key("warmup_ns").int(plan.warmup.as_nanos());
     w.key("measure_ns").int(plan.measure.as_nanos());
+    w.key("event_size_bytes").int(event_size as u64);
+    w.key("event_size_bound").int(EVENT_SIZE_BOUND as u64);
+    w.key("steady_state_allocs").int(ss_allocs);
+    w.key("steady_state_events").int(ss_events);
+    w.key("allocs_per_event").num(allocs_per_event);
     w.key("scenarios").begin_arr();
 
     println!(

@@ -13,6 +13,8 @@
 
 mod link;
 mod packet;
+mod store;
 
 pub use link::{EnqueueOutcome, Link, SwitchPort};
 pub use packet::{FlowId, Packet, PacketKind, WireFormat};
+pub use store::{GenSlab, PacketRef, PacketStore, SlabRef};

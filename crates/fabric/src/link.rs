@@ -72,7 +72,11 @@ pub struct SwitchPort {
     buffer_bytes: u64,
     ecn_threshold_bytes: u64,
     queued_bytes: u64,
-    /// (time, bytes) of queued packets, used to age out departures.
+    /// (time, bytes) of queued packets, used to age out departures. Every
+    /// entry accounts for >= `MIN_WIRE_BYTES` of `queued_bytes`, which is
+    /// capped at `buffer_bytes`, so the ring's length is bounded by
+    /// `buffer_bytes / MIN_WIRE_BYTES` regardless of run length; it is
+    /// pre-sized to that bound so steady state never reallocates.
     departures: std::collections::VecDeque<(SimTime, u64)>,
     drops: u64,
     marks: u64,
@@ -89,18 +93,26 @@ impl SwitchPort {
         buffer_bytes: u64,
         ecn_threshold_bytes: u64,
     ) -> Self {
+        // Worst case the queue is full of minimum-size frames; one ring
+        // entry each. Pre-sizing to that bound makes enqueue
+        // allocation-free for the life of the port.
+        let max_entries = (buffer_bytes / Self::MIN_WIRE_BYTES + 1) as usize;
         SwitchPort {
             link: SerialLink::new(bits_per_sec / 8.0),
             propagation,
             buffer_bytes,
             ecn_threshold_bytes,
             queued_bytes: 0,
-            departures: std::collections::VecDeque::new(),
+            departures: std::collections::VecDeque::with_capacity(max_entries),
             drops: 0,
             marks: 0,
             forwarded: 0,
         }
     }
+
+    /// Minimum Ethernet frame size; no packet on the wire is smaller, so
+    /// `buffer_bytes / MIN_WIRE_BYTES` bounds the departure-ring length.
+    const MIN_WIRE_BYTES: u64 = 64;
 
     /// Drop packets whose serialisation finished before `now` from the
     /// occupancy accounting.
@@ -115,14 +127,14 @@ impl SwitchPort {
         }
     }
 
-    /// Offer `pkt` to the port at `now`. On acceptance the packet (with a
-    /// possibly-set ECN mark) and its delivery time are returned.
-    pub fn enqueue(&mut self, now: SimTime, mut pkt: Packet) -> (EnqueueOutcome, Packet) {
+    /// Offer `pkt` to the port at `now`. On acceptance the packet's ECN
+    /// mark may be set in place and its delivery time is returned.
+    pub fn enqueue(&mut self, now: SimTime, pkt: &mut Packet) -> EnqueueOutcome {
         self.age(now);
         let bytes = pkt.wire_bytes as u64;
         if self.queued_bytes + bytes > self.buffer_bytes {
             self.drops += 1;
-            return (EnqueueOutcome::Dropped, pkt);
+            return EnqueueOutcome::Dropped;
         }
         if self.ecn_threshold_bytes > 0 && self.queued_bytes >= self.ecn_threshold_bytes {
             pkt.ecn_ce = true;
@@ -132,7 +144,7 @@ impl SwitchPort {
         let done = self.link.transmit(now, bytes);
         self.departures.push_back((done, bytes));
         self.forwarded += 1;
-        (EnqueueOutcome::DeliverAt(done + self.propagation), pkt)
+        EnqueueOutcome::DeliverAt(done + self.propagation)
     }
 
     /// Bytes currently queued (after ageing to `now`).
@@ -201,9 +213,9 @@ mod tests {
     fn switch_port_tail_drops_when_full() {
         // Buffer fits exactly two data packets.
         let mut p = SwitchPort::new(100e9, SimDuration::ZERO, 9000, 0);
-        let (o1, _) = p.enqueue(SimTime::ZERO, pkt());
-        let (o2, _) = p.enqueue(SimTime::ZERO, pkt());
-        let (o3, _) = p.enqueue(SimTime::ZERO, pkt());
+        let o1 = p.enqueue(SimTime::ZERO, &mut pkt());
+        let o2 = p.enqueue(SimTime::ZERO, &mut pkt());
+        let o3 = p.enqueue(SimTime::ZERO, &mut pkt());
         assert!(matches!(o1, EnqueueOutcome::DeliverAt(_)));
         assert!(matches!(o2, EnqueueOutcome::DeliverAt(_)));
         assert_eq!(o3, EnqueueOutcome::Dropped);
@@ -214,25 +226,28 @@ mod tests {
     #[test]
     fn switch_port_drains_over_time() {
         let mut p = SwitchPort::new(100e9, SimDuration::ZERO, 9000, 0);
-        p.enqueue(SimTime::ZERO, pkt());
-        p.enqueue(SimTime::ZERO, pkt());
+        p.enqueue(SimTime::ZERO, &mut pkt());
+        p.enqueue(SimTime::ZERO, &mut pkt());
         assert_eq!(p.occupancy(SimTime::ZERO), 2 * 4452);
         // After both serialise (~713 ns), the queue is empty and new
         // packets are accepted again.
         let later = SimTime::from_micros(1);
         assert_eq!(p.occupancy(later), 0);
-        let (o, _) = p.enqueue(later, pkt());
+        let o = p.enqueue(later, &mut pkt());
         assert!(matches!(o, EnqueueOutcome::DeliverAt(_)));
     }
 
     #[test]
     fn ecn_marks_past_threshold() {
         let mut p = SwitchPort::new(100e9, SimDuration::ZERO, 100_000, 5000);
-        let (_, first) = p.enqueue(SimTime::ZERO, pkt());
+        let mut first = pkt();
+        p.enqueue(SimTime::ZERO, &mut first);
         assert!(!first.ecn_ce, "queue below threshold");
-        let (_, second) = p.enqueue(SimTime::ZERO, pkt());
+        let mut second = pkt();
+        p.enqueue(SimTime::ZERO, &mut second);
         assert!(!second.ecn_ce, "4452 < 5000 still below");
-        let (_, third) = p.enqueue(SimTime::ZERO, pkt());
+        let mut third = pkt();
+        p.enqueue(SimTime::ZERO, &mut third);
         assert!(third.ecn_ce, "8904 >= 5000: mark");
         assert_eq!(p.marks(), 1);
     }
@@ -241,10 +256,27 @@ mod tests {
     fn zero_threshold_disables_ecn() {
         let mut p = SwitchPort::new(100e9, SimDuration::ZERO, 1 << 20, 0);
         for _ in 0..50 {
-            let (_, q) = p.enqueue(SimTime::ZERO, pkt());
+            let mut q = pkt();
+            p.enqueue(SimTime::ZERO, &mut q);
             assert!(!q.ecn_ce);
         }
         assert_eq!(p.marks(), 0);
+    }
+
+    #[test]
+    fn departure_ring_is_presized_and_bounded() {
+        let buffer = 1 << 20;
+        let mut p = SwitchPort::new(100e9, SimDuration::ZERO, buffer, 0);
+        let cap = p.departures.capacity();
+        assert!(cap >= (buffer / SwitchPort::MIN_WIRE_BYTES) as usize);
+        // Fill-and-drain repeatedly; the ring must never outgrow its
+        // pre-sized bound.
+        for round in 0..50u64 {
+            let now = SimTime::from_micros(100 * round);
+            while matches!(p.enqueue(now, &mut pkt()), EnqueueOutcome::DeliverAt(_)) {}
+            assert!(p.departures.len() <= cap);
+        }
+        assert_eq!(p.departures.capacity(), cap, "ring reallocated");
     }
 }
 
@@ -267,13 +299,13 @@ mod more_tests {
     #[test]
     fn switch_ages_out_across_long_idle_gaps() {
         let mut p = SwitchPort::new(100e9, SimDuration::ZERO, 9000, 0);
-        p.enqueue(SimTime::ZERO, pkt());
-        p.enqueue(SimTime::ZERO, pkt());
+        p.enqueue(SimTime::ZERO, &mut pkt());
+        p.enqueue(SimTime::ZERO, &mut pkt());
         // Far in the future everything has drained; a burst fits again.
         let later = SimTime::from_secs(1);
         assert_eq!(p.occupancy(later), 0);
-        let (o1, _) = p.enqueue(later, pkt());
-        let (o2, _) = p.enqueue(later, pkt());
+        let o1 = p.enqueue(later, &mut pkt());
+        let o2 = p.enqueue(later, &mut pkt());
         assert!(matches!(o1, EnqueueOutcome::DeliverAt(_)));
         assert!(matches!(o2, EnqueueOutcome::DeliverAt(_)));
         assert_eq!(p.forwarded(), 4);
@@ -285,7 +317,7 @@ mod more_tests {
         let mut p = SwitchPort::new(100e9, SimDuration::from_micros(1), 1 << 20, 0);
         let mut last = SimTime::ZERO;
         for _ in 0..32 {
-            match p.enqueue(SimTime::ZERO, pkt()).0 {
+            match p.enqueue(SimTime::ZERO, &mut pkt()) {
                 EnqueueOutcome::DeliverAt(t) => {
                     assert!(t > last, "deliveries must be strictly ordered");
                     last = t;
@@ -311,7 +343,7 @@ mod more_tests {
     fn backlog_delay_reflects_queued_serialisation() {
         let mut p = SwitchPort::new(10e9, SimDuration::ZERO, 1 << 20, 0);
         for _ in 0..10 {
-            p.enqueue(SimTime::ZERO, pkt());
+            p.enqueue(SimTime::ZERO, &mut pkt());
         }
         // 10 packets x 4452 B at 10 Gbps = ~35.6 us of backlog.
         let d = p.backlog_delay(SimTime::ZERO).as_micros_f64();

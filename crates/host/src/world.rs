@@ -21,17 +21,21 @@
 use crate::config::{CcKind, TestbedConfig};
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::vlink::VariableRateLink;
-use hostcc_fabric::{EnqueueOutcome, FlowId, Link, Packet, SwitchPort};
+use hostcc_fabric::{
+    EnqueueOutcome, FlowId, GenSlab, Link, PacketRef, PacketStore, SlabRef, SwitchPort,
+};
 use hostcc_iommu::Iommu;
 use hostcc_mem::{Iova, PageSize, RecycleOrder, RegionRegistry, RxBufferPool};
 use hostcc_memsys::{AgentClass, AgentId, MemorySystem, StreamAntagonist};
 use hostcc_nic::Nic;
-use hostcc_pcie::{credits_for_write, CreditState};
+use hostcc_pcie::{CreditState, WriteCredits};
 use hostcc_sim::{
     stream_seed, DispatchProfile, Engine, EventQueue, Ewma, Queue, Scheduler, SerialLink,
     SimDuration, SimRng, SimTime, World,
 };
-use hostcc_trace::{CounterRegistry, Stage, TimelineRecorder, TraceConfig, TraceEvent, Tracer};
+use hostcc_trace::{
+    CounterRegistry, SampleRing, Stage, TimelineRecorder, TraceConfig, TraceEvent, Tracer,
+};
 use hostcc_transport::{
     Dctcp, FixedWindow, FlowStats, HostAware, ReceiverFlow, RpcReadChannel, SendBlocked,
     SenderFlow, Swift,
@@ -44,14 +48,18 @@ use hostcc_transport::{
 /// `CpuDone` can reconstruct an *exact* per-stage decomposition of the
 /// packet's host delay: `buffer + pcie + iommu + memory + cpu ==
 /// host_delay`, to the nanosecond.
+///
+/// Jobs live in the testbed's DMA slab between `DmaLaunch` and `CpuDone`;
+/// events carry only a [`DmaRef`] handle. The packet itself is referenced
+/// by handle too — its bytes stay in the `PacketStore` for the whole
+/// NIC-to-ACK lifecycle. The per-packet PCIe credit cost is a testbed
+/// constant (`pkt_credits`), so the job does not repeat it.
 #[derive(Debug, Clone, Copy)]
 pub struct DmaJob {
-    pkt: Packet,
+    pkt: PacketRef,
     nic_arrival: SimTime,
     buffer: Iova,
     thread: u32,
-    credit_h: u32,
-    credit_d: u32,
     /// When DMA admission happened (credits granted, descriptor taken).
     admitted: SimTime,
     /// PCIe serialisation + fixed DMA latency (+ descriptor-read round
@@ -63,27 +71,35 @@ pub struct DmaJob {
     iommu_ns: u64,
 }
 
+/// Handle to a [`DmaJob`] in the testbed's DMA slab.
+pub type DmaRef = SlabRef<DmaJob>;
+
 /// Simulation events.
+///
+/// Events are handle-sized: packets and DMA jobs live in generational
+/// slabs on the testbed and events reference them by 8-byte handles, so
+/// the event queue's node arena shuttles at most 24 bytes per event
+/// (vs. ~128 when payloads rode in the events by value).
 #[derive(Debug)]
 pub enum Event {
     /// A sender flow attempts to transmit.
     TrySend(u32),
     /// A data packet reaches the incast switch egress.
-    AtSwitch(Packet),
+    AtSwitch(PacketRef),
     /// A packet arrives at the receiver NIC.
-    AtNic(Packet),
+    AtNic(PacketRef),
     /// Attempt to admit queued packets into the DMA pipeline.
     DmaLaunch,
     /// A packet's DMA retired to memory; credits return.
-    DmaComplete(DmaJob),
+    DmaComplete(DmaRef),
     /// A receiver thread finished processing a packet.
-    CpuDone(DmaJob),
+    CpuDone(DmaRef),
     /// An ACK (with piggybacked RPC frontier) reaches its sender.
     AckToSender {
         /// Flow index.
         flow: u32,
         /// The ACK packet.
-        ack: Packet,
+        ack: PacketRef,
         /// Piggybacked data frontier.
         frontier: u64,
     },
@@ -92,6 +108,14 @@ pub enum Event {
     /// Periodic memory-demand refresh.
     MemTick,
 }
+
+// The whole point of the handle-based datapath: events must stay small
+// enough that the wheel's node arena is cache-dense. Grows here fail the
+// build, not a benchmark three PRs later.
+const _: () = assert!(
+    std::mem::size_of::<Event>() <= 24,
+    "Event outgrew its 24-byte budget; keep payloads in slabs, not events"
+);
 
 /// The complete simulated testbed (implements [`World`]).
 pub struct Testbed {
@@ -105,6 +129,11 @@ pub struct Testbed {
     rpc: Vec<RpcReadChannel>,
     // --- fabric ---
     switch: SwitchPort,
+    /// Every live packet, from `TrySend` until its ACK is consumed at the
+    /// sender (or it drops). Events and queues carry `PacketRef` handles.
+    store: PacketStore,
+    /// DMA jobs in flight between admission and `CpuDone`.
+    dma: GenSlab<DmaJob>,
     // --- host ---
     nic: Nic,
     iommu: Iommu,
@@ -125,8 +154,8 @@ pub struct Testbed {
     nic_demand: Ewma,
     app_demand: Ewma,
     // --- credit constants ---
-    pkt_credit_h: u32,
-    pkt_credit_d: u32,
+    /// PCIe credit cost of one full-MTU payload write (precomputed).
+    pkt_credits: WriteCredits,
     /// Fraction of DMA writes currently reaching DRAM (DDIO leak),
     /// refreshed every mem tick.
     ddio_leak: f64,
@@ -137,7 +166,7 @@ pub struct Testbed {
     /// launch handler drains every admissible packet anyway).
     dma_launch_pending: bool,
     /// Rolling trace of DMA-launch thread ids (diagnostics).
-    pub launch_trace: std::collections::VecDeque<u32>,
+    pub launch_trace: SampleRing<u32>,
     /// Mean switch backlog accumulator (diagnostics).
     pub switch_backlog_sum: f64,
     /// Mean sender-link backlog accumulator (diagnostics).
@@ -305,8 +334,14 @@ impl Testbed {
         let pcie_pipe = SerialLink::new(cfg.pcie.effective_goodput_bytes_per_sec());
         let mem_pipe = VariableRateLink::new(cfg.memsys.achievable_bytes_per_sec());
         let credits = CreditState::new(cfg.credits);
-        let (pkt_credit_h, pkt_credit_d) =
-            credits_for_write(wire.mtu_payload as u64, cfg.pcie.max_payload);
+        let pkt_credits = WriteCredits::for_write(wire.mtu_payload as u64, cfg.pcie.max_payload);
+
+        // Slab working sets: packets in flight are bounded by the flows'
+        // aggregate windows plus queued buffers; DMA jobs by the credit
+        // window times threads. Both slabs grow to the real peak and then
+        // recycle; these pre-sizes just skip the early doublings.
+        let store = PacketStore::with_capacity(1024.max(n_flows * 16));
+        let dma = GenSlab::with_capacity(256);
 
         let _ = &mut rng;
         Testbed {
@@ -317,6 +352,8 @@ impl Testbed {
             recv_flows,
             rpc,
             switch,
+            store,
+            dma,
             nic,
             iommu,
             mem,
@@ -334,11 +371,10 @@ impl Testbed {
             last_tick: SimTime::ZERO,
             nic_demand: Ewma::new(0.3),
             app_demand: Ewma::new(0.3),
-            pkt_credit_h,
-            pkt_credit_d,
+            pkt_credits,
             ddio_leak: 1.0,
             dma_launch_pending: false,
-            launch_trace: std::collections::VecDeque::with_capacity(8192),
+            launch_trace: SampleRing::new(8192),
             switch_backlog_sum: 0.0,
             link_backlog_sum: 0.0,
             backlog_samples: 0,
@@ -487,7 +523,9 @@ impl Testbed {
                 }
                 let link = &mut self.sender_links[id.sender as usize];
                 let arrive = link.transmit(now, &pkt);
-                sched.at(arrive, Event::AtSwitch(pkt));
+                // The packet enters the store here and is referenced by
+                // handle for the rest of its life.
+                sched.at(arrive, Event::AtSwitch(self.store.alloc(pkt)));
                 // Chain the next attempt at the link's serialisation slot.
                 let next = link.free_at().max(now);
                 sched.at(next, Event::TrySend(f));
@@ -502,13 +540,13 @@ impl Testbed {
     fn handle_at_switch<Q: Queue<Event>>(
         &mut self,
         now: SimTime,
-        pkt: Packet,
+        pkt: PacketRef,
         sched: &mut Scheduler<Event, Q>,
     ) {
-        let (outcome, pkt) = self.switch.enqueue(now, pkt);
-        match outcome {
+        match self.switch.enqueue(now, self.store.get_mut(pkt)) {
             EnqueueOutcome::DeliverAt(t) => sched.at(t, Event::AtNic(pkt)),
             EnqueueOutcome::Dropped => {
+                self.store.free(pkt);
                 if self.metrics.armed {
                     self.metrics.drops_fabric += 1;
                 }
@@ -519,15 +557,17 @@ impl Testbed {
     fn handle_at_nic<Q: Queue<Event>>(
         &mut self,
         now: SimTime,
-        pkt: Packet,
+        pkt: PacketRef,
         sched: &mut Scheduler<Event, Q>,
     ) {
+        let wire_bytes = self.store.get(pkt).wire_bytes;
         if self.metrics.armed {
-            self.metrics.nic_arrival_wire_bytes += pkt.wire_bytes as u64;
+            self.metrics.nic_arrival_wire_bytes += wire_bytes as u64;
         }
-        if self.nic.input.enqueue(now, pkt) {
+        if self.nic.input.enqueue(now, pkt, wire_bytes) {
             self.kick_dma_launch(sched);
         } else {
+            self.store.free(pkt);
             self.nic.stats.drops_buffer_full += 1;
             if self.metrics.armed {
                 self.metrics.drops_buffer_full += 1;
@@ -551,7 +591,7 @@ impl Testbed {
             if self.nic.input.is_empty() {
                 return;
             }
-            if !self.credits.can_admit(self.pkt_credit_h, self.pkt_credit_d) {
+            if !self.credits.can_admit_write(self.pkt_credits) {
                 self.credits.note_stall();
                 if self.tracer.is_enabled() {
                     self.tracer
@@ -560,15 +600,15 @@ impl Testbed {
                 return; // retried on the next DmaComplete
             }
             let qp = self.nic.input.dequeue().expect("peeked non-empty");
-            let thread = qp.packet.flow.thread as usize;
-            if self.launch_trace.len() >= 8192 {
-                self.launch_trace.pop_front();
-            }
-            self.launch_trace.push_back(thread as u32);
-            let payload = qp.packet.payload_bytes as u64;
+            let (thread, payload) = {
+                let p = self.store.get(qp.pkt);
+                (p.flow.thread as usize, p.payload_bytes as u64)
+            };
+            self.launch_trace.push(thread as u32);
 
             // Step 2: fetch an Rx descriptor.
             let Some(desc) = self.nic.queues[thread].ring.take() else {
+                self.store.free(qp.pkt);
                 self.nic.stats.drops_no_descriptor += 1;
                 if self.metrics.armed {
                     self.metrics.drops_no_descriptor += 1;
@@ -581,7 +621,7 @@ impl Testbed {
                 }
                 continue;
             };
-            assert!(self.credits.try_admit(self.pkt_credit_h, self.pkt_credit_d));
+            assert!(self.credits.try_admit_write(self.pkt_credits));
 
             // Steps 3-5: translate descriptor fetch, payload write and
             // completion write; all contribute IOTLB pressure. Ring
@@ -669,64 +709,68 @@ impl Testbed {
             }
             let done = now + SimDuration::from_nanos(pcie_ns + mem_ns + iommu_ns);
 
-            sched.at(
-                done,
-                Event::DmaComplete(DmaJob {
-                    pkt: qp.packet,
-                    nic_arrival: qp.arrived,
-                    buffer: desc.buffer,
-                    thread: thread as u32,
-                    credit_h: self.pkt_credit_h,
-                    credit_d: self.pkt_credit_d,
-                    admitted: now,
-                    pcie_ns,
-                    mem_ns,
-                    iommu_ns,
-                }),
-            );
+            let job = self.dma.alloc(DmaJob {
+                pkt: qp.pkt,
+                nic_arrival: qp.arrived,
+                buffer: desc.buffer,
+                thread: thread as u32,
+                admitted: now,
+                pcie_ns,
+                mem_ns,
+                iommu_ns,
+            });
+            sched.at(done, Event::DmaComplete(job));
         }
     }
 
     fn handle_dma_complete<Q: Queue<Event>>(
         &mut self,
         now: SimTime,
-        job: DmaJob,
+        job: DmaRef,
         sched: &mut Scheduler<Event, Q>,
     ) {
-        self.credits.release(job.credit_h, job.credit_d);
+        self.credits.release_write(self.pkt_credits);
         self.kick_dma_launch(sched);
-        self.window_payload += job.pkt.payload_bytes as u64;
+        let (pkt, thread) = {
+            let j = self.dma.get(job);
+            (j.pkt, j.thread as usize)
+        };
+        self.window_payload += self.store.get(pkt).payload_bytes as u64;
 
         // Step 7: a dedicated receiver core processes the packet (strict
         // IOMMU mode adds the unmap/invalidate work to the per-packet
         // cost).
-        let t = job.thread as usize;
-        let start = now.max(self.core_free_at[t]);
+        let start = now.max(self.core_free_at[thread]);
         let mut per_pkt = self.cfg.core_pkt_cost;
         if self.cfg.strict_iommu {
             per_pkt += self.cfg.invalidation_cost;
         }
         let done = start + per_pkt;
-        self.core_free_at[t] = done;
+        self.core_free_at[thread] = done;
         sched.at(done, Event::CpuDone(job));
     }
 
     fn handle_cpu_done<Q: Queue<Event>>(
         &mut self,
         now: SimTime,
-        job: DmaJob,
+        job: DmaRef,
         sched: &mut Scheduler<Event, Q>,
     ) {
-        let f = self.flow_index(job.pkt.flow) as usize;
+        // The packet's host lifecycle ends here: both slab entries retire
+        // (free returns the final value by copy), and only the ACK —
+        // allocated below — survives into the return path.
+        let job = self.dma.free(job);
+        let pkt = self.store.free(job.pkt);
+        let f = self.flow_index(pkt.flow) as usize;
         let t = job.thread as usize;
 
-        let (ack_seq, fresh) = self.recv_flows[f].on_data_detailed(job.pkt.seq);
+        let (ack_seq, fresh) = self.recv_flows[f].on_data_detailed(pkt.seq);
         if fresh {
             self.nic.stats.delivered_packets += 1;
-            self.nic.stats.delivered_payload_bytes += job.pkt.payload_bytes as u64;
+            self.nic.stats.delivered_payload_bytes += pkt.payload_bytes as u64;
             if self.metrics.armed {
                 self.metrics.delivered_packets += 1;
-                self.metrics.delivered_payload_bytes += job.pkt.payload_bytes as u64;
+                self.metrics.delivered_payload_bytes += pkt.payload_bytes as u64;
             }
         }
         // Closed-loop RPC: completed reads issue new ones.
@@ -769,7 +813,7 @@ impl Testbed {
             );
         }
         if self.tracer.sample() {
-            let (flow, thread, seq) = (job.pkt.flow.sender, job.thread, job.pkt.seq);
+            let (flow, thread, seq) = (pkt.flow.sender, job.thread, pkt.seq);
             let t0 = job.admitted.as_nanos();
             self.tracer.record(TraceEvent::span(
                 job.nic_arrival.as_nanos(),
@@ -832,7 +876,7 @@ impl Testbed {
         }
         self.window_walks += ack_cost.walk_memory_accesses as u64;
 
-        let mut ack = self.cfg.wire.ack_packet(&job.pkt, ack_seq, host_delay);
+        let mut ack = self.cfg.wire.ack_packet(&pkt, ack_seq, host_delay);
         // Echo the freshest host-congestion signal: the NIC input-buffer
         // occupancy at ACK-generation time (hardware telemetry a
         // host-aware protocol could read; §4's new congestion signal).
@@ -849,7 +893,7 @@ impl Testbed {
             back,
             Event::AckToSender {
                 flow: f as u32,
-                ack,
+                ack: self.store.alloc(ack),
                 frontier,
             },
         );
@@ -859,10 +903,12 @@ impl Testbed {
         &mut self,
         now: SimTime,
         f: u32,
-        ack: Packet,
+        ack: PacketRef,
         frontier: u64,
         sched: &mut Scheduler<Event, Q>,
     ) {
+        // The ACK is consumed at the sender; its slab entry retires.
+        let ack = self.store.free(ack);
         if self.metrics.armed {
             let rtt = now.saturating_since(ack.sent_at);
             self.metrics.rtt.record(rtt.as_nanos());
@@ -1080,6 +1126,15 @@ impl<Q: Queue<Event>> Simulation<Q> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Advance the simulation by `d` without arming or snapshotting
+    /// metrics. For harnesses that need a side-effect-free steady-state
+    /// segment — e.g. the allocation-count bench, where armed metrics
+    /// would push occupancy samples and pollute the allocator counters.
+    pub fn advance(&mut self, d: SimDuration) {
+        let t0 = self.engine.now();
+        self.engine.run_until(t0 + d);
     }
 
     /// Run `warmup` of simulated time to reach steady state, then measure

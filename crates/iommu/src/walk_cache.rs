@@ -7,18 +7,23 @@
 //! to the page-directory level: a PWC hit leaves only the leaf level(s) to
 //! fetch from memory.
 
-use std::collections::HashMap;
-
 /// LRU cache of intermediate walk paths, keyed by the covered region.
 ///
 /// For a 4 KiB leaf the key is the 2 MiB-aligned region (the PD entry that
 /// points at the PT); for a 2 MiB leaf it is the 1 GiB-aligned region (the
 /// PDPT entry that points at the PD).
+///
+/// Storage is two parallel arrays scanned linearly. A PWC is tiny (tens
+/// of entries, a few cache lines of keys) and it is consulted on *every*
+/// IOTLB miss — in the paper's thrash regimes that is nearly every DMA —
+/// so a flat scan beats hashing the key on each probe. LRU stamps are
+/// unique (the clock advances per probe), so the eviction victim is
+/// deterministic.
 #[derive(Debug)]
 pub struct WalkCache {
     capacity: usize,
-    // key -> last-used stamp
-    entries: HashMap<u64, u64>,
+    keys: Vec<u64>,
+    stamps: Vec<u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -29,7 +34,8 @@ impl WalkCache {
     pub fn new(capacity: usize) -> Self {
         WalkCache {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -48,30 +54,33 @@ impl WalkCache {
             return false;
         }
         self.clock += 1;
-        if let Some(stamp) = self.entries.get_mut(&key) {
-            *stamp = self.clock;
+        if let Some(i) = self.keys.iter().position(|&k| k == key) {
+            self.stamps[i] = self.clock;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        if self.entries.len() >= self.capacity {
-            // Evict the least recently used key. Linear scan is fine: PWCs
-            // are tiny (tens of entries) and only misses pay this cost.
-            let victim = *self
-                .entries
-                .iter()
-                .min_by_key(|(_, &stamp)| stamp)
-                .map(|(k, _)| k)
-                .expect("non-empty");
-            self.entries.remove(&victim);
+        if self.keys.len() >= self.capacity {
+            // Evict the least recently used key (unique minimum stamp).
+            let mut victim = 0;
+            for i in 1..self.stamps.len() {
+                if self.stamps[i] < self.stamps[victim] {
+                    victim = i;
+                }
+            }
+            self.keys[victim] = key;
+            self.stamps[victim] = self.clock;
+        } else {
+            self.keys.push(key);
+            self.stamps.push(self.clock);
         }
-        self.entries.insert(key, self.clock);
         false
     }
 
     /// Drop all cached paths.
     pub fn invalidate_all(&mut self) {
-        self.entries.clear();
+        self.keys.clear();
+        self.stamps.clear();
     }
 
     /// (hits, misses) counters.
@@ -81,7 +90,7 @@ impl WalkCache {
 
     /// Current number of cached paths.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 }
 

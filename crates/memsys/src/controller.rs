@@ -41,6 +41,10 @@ pub struct MemorySystem {
     curve: LoadLatencyCurve,
     agents: Vec<Agent>,
     dirty: bool,
+    /// Memoised `access_latency_ns` result. Demand only changes at memory
+    /// ticks, but the latency is charged on every DMA in between — caching
+    /// skips the sigmoid (`exp`) on the unchanged-demand fast path.
+    latency_cache: Option<f64>,
 }
 
 impl MemorySystem {
@@ -57,6 +61,7 @@ impl MemorySystem {
             curve,
             agents: Vec::new(),
             dirty: false,
+            latency_cache: None,
         }
     }
 
@@ -74,6 +79,7 @@ impl MemorySystem {
             allocation: 0.0,
         });
         self.dirty = true;
+        self.latency_cache = None;
         AgentId(self.agents.len() - 1)
     }
 
@@ -84,6 +90,7 @@ impl MemorySystem {
         if (a.demand - bytes_per_sec).abs() > f64::EPSILON {
             a.demand = bytes_per_sec.max(0.0);
             self.dirty = true;
+            self.latency_cache = None;
         }
     }
 
@@ -182,8 +189,13 @@ impl MemorySystem {
     /// figure charged to page-table walks and folded into the per-DMA
     /// service time; §3.2's load-latency mechanism.
     pub fn access_latency_ns(&mut self) -> f64 {
+        if let Some(ns) = self.latency_cache {
+            return ns;
+        }
         let rho = self.offered_utilization();
-        self.curve.latency_ns(rho)
+        let ns = self.curve.latency_ns(rho);
+        self.latency_cache = Some(ns);
+        ns
     }
 
     /// The latency curve (for model cross-validation and plots).

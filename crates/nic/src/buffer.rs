@@ -8,16 +8,25 @@
 //! arithmetic: a 1 MiB buffer drains in < 90 µs whenever the NIC can move
 //! ≥ 88.8 Gbps to the host, so a congestion controller watching for a
 //! 100 µs host-delay target never sees the queue before it overflows.
+//!
+//! The queue stores [`PacketRef`] handles, not packets: the packet bytes
+//! live in the shared `PacketStore` slab and only an 8-byte handle (plus
+//! the wire size needed for byte accounting and the arrival timestamp)
+//! transits the buffer. On a tail-drop the caller still owns the handle
+//! and is responsible for freeing the slab entry.
 
-use hostcc_fabric::Packet;
+use hostcc_fabric::PacketRef;
 use hostcc_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
-/// A packet waiting in the input buffer.
+/// A packet waiting in the input buffer: a slab handle plus the two
+/// fields the buffer itself needs (byte accounting, host-delay clock).
 #[derive(Debug, Clone, Copy)]
 pub struct QueuedPacket {
-    /// The packet.
-    pub packet: Packet,
+    /// Handle to the packet in the `PacketStore`.
+    pub pkt: PacketRef,
+    /// Wire size of the packet, for occupancy accounting.
+    pub wire_bytes: u32,
     /// When it arrived at the NIC (starts the host-delay clock).
     pub arrived: SimTime,
 }
@@ -38,10 +47,15 @@ impl InputBuffer {
     /// A buffer holding at most `capacity_bytes` of packet data.
     pub fn new(capacity_bytes: u64) -> Self {
         assert!(capacity_bytes > 0, "zero-capacity buffer");
+        // The queue can never hold more packets than fit in the byte
+        // budget; 1 KiB is a conservative lower bound on wire size (data
+        // packets are ~4.4 KiB), so this pre-size makes enqueue
+        // allocation-free for the life of the buffer.
+        let max_entries = (capacity_bytes / 1024 + 1) as usize;
         InputBuffer {
             capacity_bytes,
             queued_bytes: 0,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(max_entries),
             drops: 0,
             dropped_bytes: 0,
             enqueued: 0,
@@ -54,9 +68,11 @@ impl InputBuffer {
         self.capacity_bytes
     }
 
-    /// Offer an arriving packet. Returns `false` if it was tail-dropped.
-    pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> bool {
-        let bytes = packet.wire_bytes as u64;
+    /// Offer an arriving packet of `wire_bytes`. Returns `false` if it was
+    /// tail-dropped — the caller keeps ownership of the handle and must
+    /// free the slab entry.
+    pub fn enqueue(&mut self, now: SimTime, pkt: PacketRef, wire_bytes: u32) -> bool {
+        let bytes = wire_bytes as u64;
         if self.queued_bytes + bytes > self.capacity_bytes {
             self.drops += 1;
             self.dropped_bytes += bytes;
@@ -66,7 +82,8 @@ impl InputBuffer {
         self.peak_bytes = self.peak_bytes.max(self.queued_bytes);
         self.enqueued += 1;
         self.queue.push_back(QueuedPacket {
-            packet,
+            pkt,
+            wire_bytes,
             arrived: now,
         });
         true
@@ -75,7 +92,7 @@ impl InputBuffer {
     /// Take the packet at the head of the queue (next to DMA).
     pub fn dequeue(&mut self) -> Option<QueuedPacket> {
         let qp = self.queue.pop_front()?;
-        self.queued_bytes -= qp.packet.wire_bytes as u64;
+        self.queued_bytes -= qp.wire_bytes as u64;
         Some(qp)
     }
 
@@ -142,32 +159,40 @@ impl InputBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hostcc_fabric::{FlowId, WireFormat};
+    use hostcc_fabric::{FlowId, Packet, PacketStore, WireFormat};
 
-    fn pkt() -> Packet {
+    fn pkt(seq: u64) -> Packet {
         WireFormat::default().data_packet(
             FlowId {
                 sender: 0,
                 thread: 0,
             },
-            0,
+            seq,
             SimTime::ZERO,
         )
     }
 
+    fn put(store: &mut PacketStore, b: &mut InputBuffer, now: SimTime, seq: u64) -> bool {
+        let p = pkt(seq);
+        let wire = p.wire_bytes;
+        let r = store.alloc(p);
+        let ok = b.enqueue(now, r, wire);
+        if !ok {
+            store.free(r);
+        }
+        ok
+    }
+
     #[test]
     fn fifo_order_and_occupancy() {
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(1 << 20);
-        let mut p1 = pkt();
-        p1.seq = 1;
-        let mut p2 = pkt();
-        p2.seq = 2;
-        assert!(b.enqueue(SimTime::ZERO, p1));
-        assert!(b.enqueue(SimTime::ZERO, p2));
+        assert!(put(&mut store, &mut b, SimTime::ZERO, 1));
+        assert!(put(&mut store, &mut b, SimTime::ZERO, 2));
         assert_eq!(b.occupancy_packets(), 2);
         assert_eq!(b.occupancy_bytes(), 2 * 4452);
-        assert_eq!(b.dequeue().unwrap().packet.seq, 1);
-        assert_eq!(b.dequeue().unwrap().packet.seq, 2);
+        assert_eq!(store.get(b.dequeue().unwrap().pkt).seq, 1);
+        assert_eq!(store.get(b.dequeue().unwrap().pkt).seq, 2);
         assert!(b.dequeue().is_none());
         assert!(b.is_empty());
     }
@@ -175,23 +200,26 @@ mod tests {
     #[test]
     fn tail_drop_when_full() {
         // Capacity for exactly 2 packets.
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(9000);
-        assert!(b.enqueue(SimTime::ZERO, pkt()));
-        assert!(b.enqueue(SimTime::ZERO, pkt()));
-        assert!(!b.enqueue(SimTime::ZERO, pkt()));
+        assert!(put(&mut store, &mut b, SimTime::ZERO, 0));
+        assert!(put(&mut store, &mut b, SimTime::ZERO, 1));
+        assert!(!put(&mut store, &mut b, SimTime::ZERO, 2));
         assert_eq!(b.drops(), 1);
         assert_eq!(b.dropped_bytes(), 4452);
         assert_eq!(b.enqueued(), 2);
+        assert_eq!(store.live(), 2, "dropped packet's slab entry was freed");
         // Draining one admits one more.
-        b.dequeue();
-        assert!(b.enqueue(SimTime::ZERO, pkt()));
+        store.free(b.dequeue().unwrap().pkt);
+        assert!(put(&mut store, &mut b, SimTime::ZERO, 3));
     }
 
     #[test]
     fn peak_tracks_high_water_mark() {
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(1 << 20);
-        b.enqueue(SimTime::ZERO, pkt());
-        b.enqueue(SimTime::ZERO, pkt());
+        put(&mut store, &mut b, SimTime::ZERO, 0);
+        put(&mut store, &mut b, SimTime::ZERO, 1);
         b.dequeue();
         b.dequeue();
         assert_eq!(b.peak_bytes(), 2 * 4452);
@@ -200,8 +228,9 @@ mod tests {
 
     #[test]
     fn head_delay_measures_waiting_time() {
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(1 << 20);
-        b.enqueue(SimTime::from_micros(10), pkt());
+        put(&mut store, &mut b, SimTime::from_micros(10), 0);
         assert_eq!(
             b.head_delay(SimTime::from_micros(35)),
             SimDuration::from_micros(25)
@@ -215,10 +244,11 @@ mod tests {
         // A full 1 MiB buffer at 88.8 Gbps wire rate drains in ~94 us; the
         // paper rounds to "less than 90 us of queueing when the NIC moves
         // >= 88.8 Gbps" (they use 1 MB = 1e6 bytes: 1e6*8/88.8e9 = 90.1 us).
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(1_000_000);
         // Fill with ~1 MB of packets.
         let mut n = 0;
-        while b.enqueue(SimTime::ZERO, pkt()) {
+        while put(&mut store, &mut b, SimTime::ZERO, n) {
             n += 1;
         }
         assert!(n > 200);
@@ -231,7 +261,7 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
-    use hostcc_fabric::{FlowId, WireFormat};
+    use hostcc_fabric::{FlowId, Packet, PacketStore, WireFormat};
 
     fn pkt() -> Packet {
         WireFormat::default().data_packet(
@@ -246,10 +276,14 @@ mod more_tests {
 
     #[test]
     fn dropped_bytes_accumulate() {
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(4452);
-        assert!(b.enqueue(SimTime::ZERO, pkt()));
+        let first = store.alloc(pkt());
+        assert!(b.enqueue(SimTime::ZERO, first, 4452));
         for _ in 0..3 {
-            assert!(!b.enqueue(SimTime::ZERO, pkt()));
+            let r = store.alloc(pkt());
+            assert!(!b.enqueue(SimTime::ZERO, r, 4452));
+            store.free(r);
         }
         assert_eq!(b.drops(), 3);
         assert_eq!(b.dropped_bytes(), 3 * 4452);
@@ -257,25 +291,34 @@ mod more_tests {
 
     #[test]
     fn reset_peak_restarts_from_current_occupancy() {
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(1 << 20);
         for _ in 0..10 {
-            b.enqueue(SimTime::ZERO, pkt());
+            b.enqueue(SimTime::ZERO, store.alloc(pkt()), 4452);
         }
         for _ in 0..8 {
-            b.dequeue();
+            store.free(b.dequeue().unwrap().pkt);
         }
         b.reset_peak();
         assert_eq!(b.peak_bytes(), 2 * 4452, "peak restarts at current level");
-        b.enqueue(SimTime::ZERO, pkt());
+        b.enqueue(SimTime::ZERO, store.alloc(pkt()), 4452);
         assert_eq!(b.peak_bytes(), 3 * 4452);
     }
 
     #[test]
     fn exact_fit_is_accepted() {
         // Capacity exactly one wire packet: boundary must admit it.
+        let mut store = PacketStore::new();
         let mut b = InputBuffer::new(4452);
-        assert!(b.enqueue(SimTime::ZERO, pkt()));
+        assert!(b.enqueue(SimTime::ZERO, store.alloc(pkt()), 4452));
         assert_eq!(b.occupancy_bytes(), 4452);
-        assert!(!b.enqueue(SimTime::ZERO, pkt()));
+        let r = store.alloc(pkt());
+        assert!(!b.enqueue(SimTime::ZERO, r, 4452));
+    }
+
+    #[test]
+    fn queue_is_presized_for_capacity() {
+        let b = InputBuffer::new(2 << 20);
+        assert!(b.queue.capacity() >= ((2 << 20) / 1024) as usize);
     }
 }

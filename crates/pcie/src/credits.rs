@@ -21,6 +21,26 @@ pub fn credits_for_write(len: u64, max_payload: u32) -> (u32, u32) {
     (tlps, data)
 }
 
+/// The (header, data) credit cost of one posted write, as a named pair so
+/// datapath code can precompute it once and thread a single 8-byte value
+/// through admission and release instead of loose tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteCredits {
+    /// Posted header credits (one per TLP).
+    pub header: u32,
+    /// Posted data credits (16-byte units).
+    pub data: u32,
+}
+
+impl WriteCredits {
+    /// Credit cost of a posted write of `len` payload bytes at `max_payload`
+    /// bytes per TLP.
+    pub fn for_write(len: u64, max_payload: u32) -> Self {
+        let (header, data) = credits_for_write(len, max_payload);
+        WriteCredits { header, data }
+    }
+}
+
 /// Advertised credit limits for the posted channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CreditConfig {
@@ -94,6 +114,21 @@ impl CreditState {
     /// descriptor fetch that may itself fail), so stalls are still counted.
     pub fn note_stall(&mut self) {
         self.stalls += 1;
+    }
+
+    /// [`can_admit`](Self::can_admit) for a precomputed credit cost.
+    pub fn can_admit_write(&self, w: WriteCredits) -> bool {
+        self.can_admit(w.header, w.data)
+    }
+
+    /// [`try_admit`](Self::try_admit) for a precomputed credit cost.
+    pub fn try_admit_write(&mut self, w: WriteCredits) -> bool {
+        self.try_admit(w.header, w.data)
+    }
+
+    /// [`release`](Self::release) for a precomputed credit cost.
+    pub fn release_write(&mut self, w: WriteCredits) {
+        self.release(w.header, w.data)
     }
 
     /// Try to admit a write; consumes credits on success.
@@ -191,5 +226,26 @@ mod tests {
         let s = CreditState::new(CreditConfig::default());
         assert!(s.can_admit(16, 256));
         assert_eq!(s.available(), (128, 2048));
+    }
+
+    #[test]
+    fn write_credits_mirror_tuple_helpers() {
+        let w = WriteCredits::for_write(4096, 256);
+        assert_eq!((w.header, w.data), credits_for_write(4096, 256));
+        let mut s = CreditState::new(CreditConfig {
+            posted_header: 32,
+            posted_data: 512,
+        });
+        assert!(s.can_admit_write(w));
+        assert!(s.try_admit_write(w));
+        assert!(s.try_admit_write(w));
+        assert!(
+            !s.try_admit_write(w),
+            "512 PD fits exactly two 4 KiB writes"
+        );
+        s.release_write(w);
+        assert!(s.try_admit_write(w));
+        assert_eq!(s.admissions(), 3);
+        assert_eq!(s.stalls(), 1);
     }
 }

@@ -15,6 +15,6 @@ mod credits;
 mod link;
 mod reads;
 
-pub use credits::{credits_for_write, CreditConfig, CreditState, PD_CREDIT_BYTES};
+pub use credits::{credits_for_write, CreditConfig, CreditState, WriteCredits, PD_CREDIT_BYTES};
 pub use link::{PcieGen, PcieLinkConfig, DLLP_OVERHEAD_BYTES_PER_TLP, TLP_OVERHEAD_BYTES};
 pub use reads::{read_round_trip_ns, ReadChannel, ReadChannelConfig};

@@ -174,7 +174,14 @@ impl SimDuration {
     #[inline]
     pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> SimDuration {
         debug_assert!(bytes_per_sec > 0.0, "non-positive rate");
-        SimDuration(((bytes as f64) * NANOS_PER_SEC as f64 / bytes_per_sec).ceil() as u64)
+        let ns = (bytes as f64) * NANOS_PER_SEC as f64 / bytes_per_sec;
+        // Integer ceiling: `f64::ceil` is a libm call on baseline x86-64,
+        // and this runs for every link/PCIe/memory-bus transmission. The
+        // truncate-and-bump form is exact for every non-negative value
+        // (above 2^53 doubles are integral, so the bump never fires) and
+        // saturates like the `as` cast does.
+        let trunc = ns as u64;
+        SimDuration(trunc.saturating_add(((trunc as f64) < ns) as u64))
     }
 }
 

@@ -24,12 +24,14 @@
 mod chrome;
 mod counters;
 pub mod json;
+mod ring;
 mod stage;
 mod timeline;
 mod tracer;
 
 pub use chrome::chrome_trace_json;
 pub use counters::{CounterRegistry, CounterSource};
+pub use ring::SampleRing;
 pub use stage::{Stage, StageBreakdown, StageClass};
 pub use timeline::{Series, TimelineRecorder};
 pub use tracer::{EventKind, TraceConfig, TraceEvent, Tracer};

@@ -8,7 +8,7 @@
 
 use crate::cc::{AckSample, CongestionControl, LossKind, RttEstimator};
 use hostcc_sim::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Reliability parameters.
 #[derive(Debug, Clone)]
@@ -60,9 +60,113 @@ pub enum SendBlocked {
 // Note on Karn's rule: every transmission (including retransmissions)
 // carries its own fresh timestamp that the receiver echoes, so RTT samples
 // are unambiguous and no retransmission flag is needed.
-#[derive(Debug, Clone, Copy)]
-struct SentRecord {
-    sent_at: SimTime,
+//
+// In-flight tracking is a ring keyed by sequence number, not an ordered
+// map: sequences are dense (every live seq lies in `[base, base + len)`),
+// so a `VecDeque<Option<SimTime>>` indexed by `seq - base` gives every
+// operation the map supported without per-insert node allocations — the
+// ring grows once to the window span and then recycles. `base` advances
+// only on a cumulative ACK (`ack_below`), never on `remove`: a removed
+// head (fast retransmit / RTO) is re-inserted at the same sequence when
+// it retransmits, which would land below `base` if removal trimmed it.
+#[derive(Debug, Default)]
+struct SentWindow {
+    /// Sequence number of `slots[0]`. Always <= every live sequence.
+    base: u64,
+    slots: VecDeque<Option<SimTime>>,
+    live: usize,
+}
+
+impl SentWindow {
+    fn with_capacity(cap: usize) -> Self {
+        SentWindow {
+            base: 0,
+            slots: VecDeque::with_capacity(cap),
+            live: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Record `seq` as in flight, sent at `sent_at`.
+    fn insert(&mut self, seq: u64, sent_at: SimTime) {
+        debug_assert!(seq >= self.base, "insert below window base");
+        let idx = (seq - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        if self.slots[idx].is_none() {
+            self.live += 1;
+        }
+        self.slots[idx] = Some(sent_at);
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        seq >= self.base
+            && ((seq - self.base) as usize) < self.slots.len()
+            && self.slots[(seq - self.base) as usize].is_some()
+    }
+
+    /// Remove `seq` if in flight. Does not advance `base` (see above).
+    fn remove(&mut self, seq: u64) -> bool {
+        if !self.contains(seq) {
+            return false;
+        }
+        self.slots[(seq - self.base) as usize] = None;
+        self.live -= 1;
+        true
+    }
+
+    /// Remove every in-flight sequence below `ack_seq` (cumulative ACK),
+    /// returning how many were removed, and advance `base` to `ack_seq`.
+    fn ack_below(&mut self, ack_seq: u64) -> u64 {
+        let mut newly = 0u64;
+        while self.base < ack_seq {
+            match self.slots.pop_front() {
+                Some(slot) => {
+                    if slot.is_some() {
+                        self.live -= 1;
+                        newly += 1;
+                    }
+                    self.base += 1;
+                }
+                None => {
+                    // Window exhausted: nothing at or past base was live.
+                    self.base = ack_seq;
+                    break;
+                }
+            }
+        }
+        newly
+    }
+
+    /// Smallest in-flight sequence.
+    fn head_seq(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .position(|s| s.is_some())
+            .map(|i| self.base + i as u64)
+    }
+
+    /// Earliest transmission time among in-flight packets.
+    fn oldest_sent_at(&self) -> Option<SimTime> {
+        self.slots.iter().filter_map(|s| *s).min()
+    }
+
+    /// Restart the timer on every in-flight packet.
+    fn set_all_sent_at(&mut self, now: SimTime) {
+        for slot in self.slots.iter_mut() {
+            if slot.is_some() {
+                *slot = Some(now);
+            }
+        }
+    }
 }
 
 /// Send side of one connection.
@@ -73,7 +177,7 @@ pub struct SenderFlow {
     cfg: FlowConfig,
     next_new_seq: u64,
     cum_acked: u64,
-    outstanding: BTreeMap<u64, SentRecord>,
+    outstanding: SentWindow,
     rtx_queue: VecDeque<u64>,
     dup_acks: u32,
     recovery_end: u64,
@@ -106,8 +210,10 @@ impl SenderFlow {
             cfg,
             next_new_seq: 0,
             cum_acked: 0,
-            outstanding: BTreeMap::new(),
-            rtx_queue: VecDeque::new(),
+            // Pre-sized to a typical window span; both grow once to the
+            // flow's actual span and then recycle without allocating.
+            outstanding: SentWindow::with_capacity(64),
+            rtx_queue: VecDeque::with_capacity(32),
             dup_acks: 0,
             recovery_end: 0,
             data_frontier: u64::MAX,
@@ -160,7 +266,7 @@ impl SenderFlow {
                 continue;
             }
             self.rtx_queue.pop_front();
-            self.outstanding.insert(seq, SentRecord { sent_at: now });
+            self.outstanding.insert(seq, now);
             self.stats.data_sent += 1;
             self.stats.retransmits += 1;
             return Ok(seq);
@@ -192,7 +298,7 @@ impl SenderFlow {
 
         let seq = self.next_new_seq;
         self.next_new_seq += 1;
-        self.outstanding.insert(seq, SentRecord { sent_at: now });
+        self.outstanding.insert(seq, now);
         self.stats.data_sent += 1;
         Ok(seq)
     }
@@ -208,14 +314,7 @@ impl SenderFlow {
         ecn_ce: bool,
         nic_buffer_frac: f64,
     ) {
-        let mut newly = 0u64;
-        while let Some((&seq, _)) = self.outstanding.first_key_value() {
-            if seq >= ack_seq {
-                break;
-            }
-            self.outstanding.remove(&seq);
-            newly += 1;
-        }
+        let newly = self.outstanding.ack_below(ack_seq);
         if ack_seq > self.cum_acked {
             self.cum_acked = ack_seq;
         }
@@ -241,10 +340,10 @@ impl SenderFlow {
             self.dup_acks += 1;
             if self.dup_acks >= self.cfg.dupack_threshold && self.cum_acked >= self.recovery_end {
                 // Fast retransmit the missing head-of-line packet.
-                if self.outstanding.contains_key(&self.cum_acked)
+                if self.outstanding.contains(self.cum_acked)
                     && !self.rtx_queue.contains(&self.cum_acked)
                 {
-                    self.outstanding.remove(&self.cum_acked);
+                    self.outstanding.remove(self.cum_acked);
                     self.rtx_queue.push_back(self.cum_acked);
                 }
                 self.recovery_end = self.next_new_seq;
@@ -257,7 +356,7 @@ impl SenderFlow {
 
     /// Earliest transmission time among in-flight packets (RTO anchor).
     fn oldest_sent_at(&self) -> Option<SimTime> {
-        self.outstanding.values().map(|r| r.sent_at).min()
+        self.outstanding.oldest_sent_at()
     }
 
     /// Fire the retransmission timer if it has expired: the oldest
@@ -274,15 +373,13 @@ impl SenderFlow {
         if now.saturating_since(oldest) < rto {
             return false;
         }
-        let head = *self.outstanding.keys().next().expect("non-empty");
-        self.outstanding.remove(&head);
+        let head = self.outstanding.head_seq().expect("non-empty");
+        self.outstanding.remove(head);
         if !self.rtx_queue.contains(&head) {
             self.rtx_queue.push_back(head);
         }
         // Timer restart: the rest get a fresh RTO from now.
-        for rec in self.outstanding.values_mut() {
-            rec.sent_at = now;
-        }
+        self.outstanding.set_all_sent_at(now);
         self.dup_acks = 0;
         self.recovery_end = self.next_new_seq;
         self.backoff = (self.backoff + 1).min(6); // cap at 64x
@@ -304,10 +401,17 @@ impl SenderFlow {
 }
 
 /// Receive side of one connection: in-order tracking + cumulative ACKs.
+///
+/// Out-of-order arrivals are tracked as a dense bitmap ring rather than an
+/// ordered set: bit `i` of `out_of_order` says whether sequence
+/// `expected + i` has arrived. Bit 0 is always clear (an arrival at
+/// `expected` advances it immediately), the ring grows once to the flow's
+/// reorder span, and draining a filled gap is a pop-front scan — no
+/// per-arrival allocation.
 #[derive(Debug, Default)]
 pub struct ReceiverFlow {
     expected: u64,
-    out_of_order: std::collections::BTreeSet<u64>,
+    out_of_order: VecDeque<bool>,
     delivered_packets: u64,
     duplicates: u64,
 }
@@ -315,27 +419,45 @@ pub struct ReceiverFlow {
 impl ReceiverFlow {
     /// A fresh receive state expecting sequence 0.
     pub fn new() -> Self {
-        Self::default()
+        ReceiverFlow {
+            expected: 0,
+            out_of_order: VecDeque::with_capacity(64),
+            delivered_packets: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Whether `seq > expected` has already arrived out of order.
+    fn gap_contains(&self, seq: u64) -> bool {
+        let idx = (seq - self.expected) as usize;
+        idx < self.out_of_order.len() && self.out_of_order[idx]
     }
 
     /// Process an arriving data packet; returns the cumulative ACK value
     /// (next expected sequence) to send back, and whether the packet
     /// carried new (non-duplicate) data.
     pub fn on_data_detailed(&mut self, seq: u64) -> (u64, bool) {
-        if seq < self.expected || self.out_of_order.contains(&seq) {
+        if seq < self.expected || self.gap_contains(seq) {
             self.duplicates += 1;
             return (self.expected, false);
         }
         if seq == self.expected {
             self.expected += 1;
             self.delivered_packets += 1;
-            // Drain any contiguous out-of-order run.
-            while self.out_of_order.remove(&self.expected) {
+            // Shift the bitmap past the delivered head, then drain any
+            // contiguous out-of-order run behind it.
+            self.out_of_order.pop_front();
+            while self.out_of_order.front() == Some(&true) {
+                self.out_of_order.pop_front();
                 self.expected += 1;
                 self.delivered_packets += 1;
             }
         } else {
-            self.out_of_order.insert(seq);
+            let idx = (seq - self.expected) as usize;
+            while self.out_of_order.len() <= idx {
+                self.out_of_order.push_back(false);
+            }
+            self.out_of_order[idx] = true;
         }
         (self.expected, true)
     }
@@ -594,5 +716,101 @@ mod tests {
         r.on_data(5);
         assert_eq!(r.on_data(5), 1);
         assert_eq!(r.duplicates(), 2);
+    }
+
+    /// The sent-window ring must behave exactly like the ordered map it
+    /// replaced. Drive both through a seeded random schedule of inserts,
+    /// head removals, timer restarts, and cumulative ACKs, comparing every
+    /// observable after every step.
+    #[test]
+    fn sent_window_matches_ordered_map_reference() {
+        use std::collections::BTreeMap;
+        let mut rng = hostcc_sim::SimRng::new(0x0ACE_D5E0);
+        let mut win = SentWindow::with_capacity(4);
+        let mut map: BTreeMap<u64, SimTime> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let mut acked = 0u64;
+        for step in 0..20_000u64 {
+            let t = SimTime::from_nanos(step);
+            match rng.next_below(10) {
+                0..=3 => {
+                    // Send new data.
+                    win.insert(next_seq, t);
+                    map.insert(next_seq, t);
+                    next_seq += 1;
+                }
+                4..=6 => {
+                    // Cumulative ACK somewhere in (acked, next_seq]; a
+                    // receiver can never ACK data that was not sent.
+                    let ack = acked + rng.next_below(next_seq.saturating_sub(acked) + 1);
+                    let newly = win.ack_below(ack);
+                    let mut ref_newly = 0u64;
+                    while let Some((&s, _)) = map.first_key_value() {
+                        if s >= ack {
+                            break;
+                        }
+                        map.remove(&s);
+                        ref_newly += 1;
+                    }
+                    assert_eq!(newly, ref_newly, "step {step}");
+                    acked = acked.max(ack);
+                }
+                7 => {
+                    // Loss: drop the head and re-send it (RTO path).
+                    if let Some(h) = win.head_seq() {
+                        assert_eq!(Some(h), map.first_key_value().map(|(&s, _)| s));
+                        win.remove(h);
+                        map.remove(&h);
+                        if rng.chance(0.5) && h >= acked {
+                            win.insert(h, t);
+                            map.insert(h, t);
+                        }
+                    }
+                }
+                8 => {
+                    win.set_all_sent_at(t);
+                    for v in map.values_mut() {
+                        *v = t;
+                    }
+                }
+                _ => {
+                    let probe = acked + rng.next_below(8);
+                    assert_eq!(win.contains(probe), map.contains_key(&probe), "step {step}");
+                }
+            }
+            assert_eq!(win.len(), map.len(), "step {step}");
+            assert_eq!(win.is_empty(), map.is_empty());
+            assert_eq!(win.head_seq(), map.first_key_value().map(|(&s, _)| s));
+            assert_eq!(win.oldest_sent_at(), map.values().copied().min());
+        }
+    }
+
+    #[test]
+    fn rtx_reinsert_at_window_base_is_allowed() {
+        // Fast retransmit re-inserts at exactly seq == cum_acked == base;
+        // the ring must not have trimmed past it.
+        let mut w = SentWindow::with_capacity(4);
+        w.insert(0, SimTime::ZERO);
+        w.insert(1, SimTime::ZERO);
+        assert_eq!(w.ack_below(0), 0, "dup ACK removes nothing");
+        w.remove(0); // queued for fast retransmit
+        w.insert(0, SimTime::from_nanos(5)); // the retransmission
+        assert!(w.contains(0));
+        assert_eq!(w.head_seq(), Some(0));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn receiver_drains_long_reorder_run() {
+        let mut r = ReceiverFlow::new();
+        // 1..=63 arrive before 0: one gap, then a full drain.
+        for s in 1..64 {
+            assert_eq!(r.on_data(s), 0);
+        }
+        assert_eq!(r.on_data(0), 64, "gap fill drains the whole run");
+        assert_eq!(r.delivered_packets(), 64);
+        assert_eq!(r.duplicates(), 0);
+        // Bitmap is fully drained; the stream continues in order.
+        assert_eq!(r.on_data(64), 65);
     }
 }

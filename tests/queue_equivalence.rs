@@ -1,11 +1,17 @@
 //! Queue-implementation equivalence: the timing-wheel event queue must be
-//! a *perfect* drop-in for the reference binary heap.
+//! a *perfect* drop-in for the reference binary heap — and the
+//! slab/handle-based datapath a perfect drop-in for the old by-value one.
 //!
 //! The engine's determinism contract is that event order depends only on
 //! `(time, insertion seq)`. Both queue implementations promise that order
 //! bit-for-bit, so the same seeded scenario driven through either must
 //! produce identical metrics — down to histogram quantiles and occupancy
 //! sample vectors — and dispatch exactly the same number of events.
+//!
+//! The golden-digest tests at the bottom pin today's datapath to digests
+//! captured from the pre-slab representation (events carrying `Packet`
+//! and `DmaJob` by value): the handle refactor must not move a single
+//! metric bit on any engine-bench scenario.
 
 use hostcc::experiment::RunPlan;
 use hostcc::{metrics_json, scenarios, RunMetrics, Simulation, TestbedConfig};
@@ -83,6 +89,114 @@ fn assert_raw_metrics_identical(name: &str, a: &RunMetrics, b: &RunMetrics) {
         b.stage_breakdown.total_sum_ns(),
         "{name}: stage breakdown"
     );
+}
+
+/// FNV-1a-64 over the exported metrics JSON: a one-bit change anywhere in
+/// the headline metrics, histograms, or stage breakdown moves the digest.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Pin a scenario to a golden digest captured from the by-value datapath
+/// (events carrying `Packet`/`DmaJob` directly, before the slab refactor).
+/// `golden = (dispatched, delivered, (lookups, misses, walks), fnv, len)`.
+fn assert_golden(name: &str, cfg: TestbedConfig, golden: (u64, u64, (u64, u64, u64), u64, usize)) {
+    let plan = RunPlan::quick();
+    let mut sim = Simulation::new(cfg);
+    let m = sim.run(plan.warmup, plan.measure);
+    let json = metrics_json(&m, &sim.world().counters, None);
+    let (dispatched, delivered, iotlb, fnv, len) = golden;
+    assert_eq!(sim.dispatched_total(), dispatched, "{name}: dispatched");
+    assert_eq!(m.delivered_packets, delivered, "{name}: delivered");
+    assert_eq!(
+        (m.iotlb_lookups, m.iotlb_misses, m.walk_memory_accesses),
+        iotlb,
+        "{name}: iotlb"
+    );
+    assert_eq!(json.len(), len, "{name}: metrics JSON length");
+    assert_eq!(
+        fnv64(json.as_bytes()),
+        fnv,
+        "{name}: metrics JSON digest diverged from the by-value datapath"
+    );
+}
+
+#[test]
+fn golden_incast_matches_by_value_datapath() {
+    assert_golden(
+        "incast",
+        scenarios::fig3(12, true),
+        (
+            380592,
+            26857,
+            (107444, 43870, 160680),
+            0x88de29425ec84dd2,
+            2124,
+        ),
+    );
+}
+
+#[test]
+fn golden_antagonist_sweep_matches_by_value_datapath() {
+    assert_golden(
+        "antagonist_0",
+        scenarios::fig6(0, true),
+        (
+            380592,
+            26857,
+            (107444, 43870, 160680),
+            0x88de29425ec84dd2,
+            2124,
+        ),
+    );
+    assert_golden(
+        "antagonist_8",
+        scenarios::fig6(8, true),
+        (
+            297964,
+            20444,
+            (81789, 30737, 112411),
+            0xc0af09a8f4d253dc,
+            2108,
+        ),
+    );
+    assert_golden(
+        "antagonist_15",
+        scenarios::fig6(15, true),
+        (
+            236160,
+            17086,
+            (68376, 20822, 75560),
+            0xdad182da58697905,
+            2108,
+        ),
+    );
+}
+
+#[test]
+fn golden_cluster_fleet_matches_by_value_datapath() {
+    let goldens = [
+        (387557, 28061, (112136, 0, 0), 0xe3e999e4e962f414, 1978),
+        (
+            368793,
+            25738,
+            (102982, 39954, 146063),
+            0x3acf8484a8bd19c7,
+            2132,
+        ),
+    ];
+    for (host, golden) in goldens.into_iter().enumerate() {
+        let mut cfg = scenarios::with_mixed_reads(scenarios::baseline());
+        cfg.seed = 0xF1EE7 + host as u64;
+        cfg.receiver_threads = 8 + 4 * (host as u32 % 2);
+        cfg.antagonist_cores = 4 * (host as u32 % 3);
+        assert_golden(&format!("fleet_{host}"), cfg, golden);
+    }
 }
 
 #[test]
