@@ -82,7 +82,7 @@ fn main() {
             scenarios::with_nic_buffer(congested_iommu(), 4 << 20),
         ),
     ];
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "variant",

@@ -31,7 +31,7 @@ fn main() {
         (100, "4MiB buffer"),
         scenarios::with_nic_buffer(scenarios::cc_blindspot(cores, 100), 4 << 20),
     ));
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "host_target_us",

@@ -20,7 +20,7 @@ fn main() {
             points.push(((cores, on), scenarios::fig3(cores, on)));
         }
     }
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "cores",

@@ -20,7 +20,7 @@ fn main() {
             points.push(((cores, hugepages), scenarios::fig4(cores, hugepages)));
         }
     }
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "cores",

@@ -17,7 +17,7 @@ fn main() {
             points.push(((mib, on), scenarios::fig5(mib, on)));
         }
     }
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "region_mib",

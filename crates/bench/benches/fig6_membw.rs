@@ -16,7 +16,7 @@ fn main() {
             points.push(((cores, on), scenarios::fig6(cores, on)));
         }
     }
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "antagonist_cores",

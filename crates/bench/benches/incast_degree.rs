@@ -25,7 +25,7 @@ fn main() {
         cfg.senders = senders;
         points.push((senders, cfg));
     }
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "senders",

@@ -93,13 +93,16 @@ fn bench_testbed_slice(reps: u64) {
     bench("testbed/one_ms_slice_12_cores", 1, reps, || {
         let mut cfg = scenarios::fig3(12, true);
         cfg.senders = 8;
-        black_box(run(
-            cfg,
-            RunPlan {
-                warmup: SimDuration::from_micros(500),
-                measure: SimDuration::from_micros(500),
-            },
-        ));
+        black_box(
+            run(
+                cfg,
+                RunPlan {
+                    warmup: SimDuration::from_micros(500),
+                    measure: SimDuration::from_micros(500),
+                },
+            )
+            .expect("bench config runs"),
+        );
     });
 }
 

@@ -66,7 +66,7 @@ fn main() {
             c
         }),
     ];
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let baseline_tp = results[0].metrics.app_throughput_gbps();
     let mut table = Table::new([

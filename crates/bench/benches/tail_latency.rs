@@ -30,7 +30,7 @@ fn main() {
         ),
         ("both (12 antagonists, IOMMU on)", scenarios::fig6(12, true)),
     ];
-    let results = sweep(points, plan());
+    let results = sweep(points, plan()).expect("bench configs run");
 
     let mut table = Table::new([
         "operating point",

@@ -13,7 +13,9 @@ mod registry;
 use args::{parse, ArgError, ParsedArgs};
 use hostcc::experiment::{run as run_sim, run_traced, sweep as sweep_sims, RunPlan};
 use hostcc::report::{f, pct, Table};
-use hostcc::{chrome_trace_json, metrics_json, CcKind, RunMetrics, TestbedConfig, TraceConfig};
+use hostcc::{
+    chrome_trace_json, metrics_json, CcKind, FaultKind, RunMetrics, TestbedConfig, TraceConfig,
+};
 use hostcc_sim::SimDuration;
 
 fn main() {
@@ -74,6 +76,13 @@ fn print_help() {
          \u{20}  --csv               machine-readable output\n\
          \u{20}  --quick             short run (5+10 ms)\n\
          \n\
+         FAULT INJECTION:\n\
+         \u{20}  --faults LIST       comma-separated faults to inject as\n\
+         \u{20}                      recurring windows (1 ms every 5 ms):\n\
+         \u{20}                      replay|flap|stall|storm|throttle|preempt\n\
+         \u{20}  (or run a canned chaos scenario: chaos-replay, chaos-flap,\n\
+         \u{20}   chaos-invalidate — see `hostcc list`)\n\
+         \n\
          OBSERVABILITY (run command):\n\
          \u{20}  --trace-out FILE    write a Chrome trace-event JSON file\n\
          \u{20}                      (load in Perfetto / chrome://tracing)\n\
@@ -107,6 +116,44 @@ fn apply_overrides(cfg: &mut TestbedConfig, p: &ParsedArgs) -> Result<(), ArgErr
         if let CcKind::Swift(ref mut sc) = cfg.cc {
             sc.host_target = SimDuration::from_micros(target_us);
         }
+    }
+    Ok(())
+}
+
+/// Apply the `--faults` flag: each named fault becomes a canned recurring
+/// window train (1 ms windows every 5 ms from t=6 ms, nine occurrences —
+/// the same cadence as the chaos-* scenarios).
+fn apply_faults(cfg: &mut TestbedConfig, p: &ParsedArgs) -> Result<(), String> {
+    let Some(list) = p.flags.get("faults") else {
+        return Ok(());
+    };
+    for name in list.split(',').filter(|s| !s.is_empty()) {
+        let kind = match name {
+            "replay" => FaultKind::PcieReplay { nak_rate: 0.3 },
+            "flap" => FaultKind::LinkFlap,
+            "stall" => FaultKind::DescriptorStall,
+            "storm" => FaultKind::IotlbStorm {
+                flush_period: SimDuration::from_micros(50),
+            },
+            "throttle" => FaultKind::MemThrottle { factor: 0.4 },
+            "preempt" => FaultKind::CorePreempt { cores: 2 },
+            other => {
+                return Err(format!(
+                    "--faults: unknown fault `{other}` \
+                     (expected replay|flap|stall|storm|throttle|preempt)"
+                ))
+            }
+        };
+        cfg.faults = cfg.faults.clone().recurring(
+            kind,
+            SimDuration::from_millis(6),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(5),
+            9,
+        );
+        // Blackout-style faults lose whole windows; partial-ACK recovery
+        // brings flows back at ACK-clock speed instead of one per RTO.
+        cfg.flow.partial_ack_rtx = true;
     }
     Ok(())
 }
@@ -156,6 +203,7 @@ fn scenario_from(p: &ParsedArgs) -> Result<TestbedConfig, String> {
         .ok_or_else(|| format!("unknown scenario `{name}`; see `hostcc list`"))?;
     let mut cfg = (s.build)();
     apply_overrides(&mut cfg, p).map_err(|e| e.to_string())?;
+    apply_faults(&mut cfg, p)?;
     Ok(cfg)
 }
 
@@ -187,10 +235,10 @@ fn cmd_run(p: &ParsedArgs) -> Result<(), String> {
     let label = p.positionals[0].clone();
     let (m, sim) = match trace_config_from(p)? {
         Some(tc) => {
-            let (m, sim) = run_traced(cfg, plan, tc);
+            let (m, sim) = run_traced(cfg, plan, tc).map_err(|e| e.to_string())?;
             (m, Some(sim))
         }
-        None => (run_sim(cfg, plan), None),
+        None => (run_sim(cfg, plan).map_err(|e| e.to_string())?, None),
     };
     if let (Some(sim), Some(path)) = (&sim, p.flags.get("trace-out")) {
         let w = sim.world();
@@ -260,6 +308,7 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<(), String> {
         let mut without_axis = p.clone();
         without_axis.flags.remove(axis);
         apply_overrides(&mut cfg, &without_axis).map_err(|e| e.to_string())?;
+        apply_faults(&mut cfg, &without_axis)?;
         match axis {
             "threads" => cfg.receiver_threads = v,
             "antagonists" => cfg.antagonist_cores = v,
@@ -269,7 +318,7 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<(), String> {
         }
         points.push((format!("{name} {axis}={v}"), cfg));
     }
-    let results = sweep_sims(points, plan);
+    let results = sweep_sims(points, plan).map_err(|e| e.to_string())?;
     let rows: Vec<(String, &RunMetrics)> = results
         .iter()
         .map(|r| (r.label.clone(), &r.metrics))
@@ -328,5 +377,51 @@ mod tests {
         let p = parse("run baseline --quick".split_whitespace().map(String::from)).unwrap();
         let plan = plan_from(&p).unwrap();
         assert_eq!(plan.measure, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn faults_flag_builds_plan() {
+        let p = parse(
+            "run baseline --faults replay,storm"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let cfg = scenario_from(&p).unwrap();
+        assert_eq!(cfg.faults.specs.len(), 2);
+        assert!(matches!(
+            cfg.faults.specs[0].kind,
+            FaultKind::PcieReplay { .. }
+        ));
+        assert!(matches!(
+            cfg.faults.specs[1].kind,
+            FaultKind::IotlbStorm { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_fault_is_an_error() {
+        let p = parse(
+            "run baseline --faults gremlins"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(scenario_from(&p).unwrap_err().contains("unknown fault"));
+    }
+
+    #[test]
+    fn invalid_config_maps_to_cli_error() {
+        // senders=0 passes parsing but fails TestbedConfig::validate();
+        // dispatch must surface it as an `error: …` (exit code 2 path),
+        // not a panic.
+        let e = dispatch(
+            "run baseline --senders 0 --quick"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .unwrap_err();
+        assert!(e.contains("invalid configuration"), "{e}");
     }
 }

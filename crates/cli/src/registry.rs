@@ -71,6 +71,21 @@ pub fn all() -> Vec<Scenario> {
             description: "§4 coordinated response: antagonist on the remote NUMA node",
             build: || scenarios::with_remote_antagonist(scenarios::fig6(12, false)),
         },
+        Scenario {
+            name: "chaos-replay",
+            description: "chaos: recurring PCIe link-error windows (DLLP NAK/replay)",
+            build: scenarios::chaos_replay,
+        },
+        Scenario {
+            name: "chaos-flap",
+            description: "chaos: recurring access-link blackouts (transport recovers)",
+            build: scenarios::chaos_flap,
+        },
+        Scenario {
+            name: "chaos-invalidate",
+            description: "chaos: recurring IOTLB invalidation storms (page-walk bursts)",
+            build: scenarios::chaos_invalidate,
+        },
     ]
 }
 
@@ -114,5 +129,13 @@ mod tests {
         assert!((find("strict-iommu").unwrap().build)().strict_iommu);
         let ha = (find("host-aware").unwrap().build)();
         assert!(matches!(ha.cc, hostcc::CcKind::HostAware(_)));
+    }
+
+    #[test]
+    fn chaos_scenarios_are_registered_with_fault_plans() {
+        for name in ["chaos-replay", "chaos-flap", "chaos-invalidate"] {
+            let cfg = (find(name).expect("registered").build)();
+            assert!(!cfg.faults.is_empty(), "{name} must carry a fault plan");
+        }
     }
 }

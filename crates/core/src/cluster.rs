@@ -90,6 +90,7 @@ pub fn simulate(cluster: ClusterConfig, plan: RunPlan) -> Vec<ClusterPoint> {
         ));
     }
     sweep(points, plan)
+        .expect("fleet configs are valid")
         .into_iter()
         .map(|p| {
             let (threads, antagonist, link_bps) = p.label;

@@ -1,6 +1,6 @@
 //! Experiment runner: one-shot runs and parallel parameter sweeps.
 
-use hostcc_host::{RunMetrics, Simulation, TestbedConfig, TraceConfig};
+use hostcc_host::{RunError, RunMetrics, Simulation, TestbedConfig, TraceConfig};
 use hostcc_sim::SimDuration;
 
 /// How long to warm up (reach CC steady state) and measure.
@@ -35,9 +35,13 @@ impl RunPlan {
 }
 
 /// Run a single testbed configuration to completion and return metrics.
-pub fn run(cfg: TestbedConfig, plan: RunPlan) -> RunMetrics {
+///
+/// Panic-free: an invalid configuration or a watchdog-detected stall comes
+/// back as a typed [`RunError`] instead of aborting the process.
+pub fn run(cfg: TestbedConfig, plan: RunPlan) -> Result<RunMetrics, RunError> {
+    cfg.validate()?;
     let mut sim = Simulation::new(cfg);
-    sim.run(plan.warmup, plan.measure)
+    sim.try_run(plan.warmup, plan.measure)
 }
 
 /// Run one configuration with tracing installed. Returns the metrics
@@ -48,10 +52,11 @@ pub fn run_traced(
     cfg: TestbedConfig,
     plan: RunPlan,
     trace: TraceConfig,
-) -> (RunMetrics, Simulation) {
+) -> Result<(RunMetrics, Simulation), RunError> {
+    cfg.validate()?;
     let mut sim = Simulation::with_trace(cfg, trace);
-    let metrics = sim.run(plan.warmup, plan.measure);
-    (metrics, sim)
+    let metrics = sim.try_run(plan.warmup, plan.measure)?;
+    Ok((metrics, sim))
 }
 
 /// One sweep point: a label, the configuration, and (after running) the
@@ -69,10 +74,20 @@ pub struct SweepPoint<L> {
 /// order. Each simulation is single-threaded and deterministic; only the
 /// sweep is parallelised. Workers pull indices from a shared cursor and
 /// write into disjoint slots, all with std primitives.
-pub fn sweep<L: Send>(points: Vec<(L, TestbedConfig)>, plan: RunPlan) -> Vec<SweepPoint<L>> {
+///
+/// Every configuration is validated up front, so a bad point fails fast
+/// before any simulation spins up; a mid-sweep watchdog stall surfaces as
+/// the first erroring point's [`RunError`].
+pub fn sweep<L: Send>(
+    points: Vec<(L, TestbedConfig)>,
+    plan: RunPlan,
+) -> Result<Vec<SweepPoint<L>>, RunError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
+    for (_, cfg) in &points {
+        cfg.validate()?;
+    }
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -82,8 +97,8 @@ pub fn sweep<L: Send>(points: Vec<(L, TestbedConfig)>, plan: RunPlan) -> Vec<Swe
         .enumerate()
         .map(|(idx, (label, cfg))| Mutex::new(Some((idx, label, cfg))))
         .collect();
-    let results: Vec<Mutex<Option<SweepPoint<L>>>> =
-        work.iter().map(|_| Mutex::new(None)).collect();
+    type ResultSlot<L> = Mutex<Option<Result<SweepPoint<L>, RunError>>>;
+    let results: Vec<ResultSlot<L>> = work.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..parallelism {
@@ -93,8 +108,8 @@ pub fn sweep<L: Send>(points: Vec<(L, TestbedConfig)>, plan: RunPlan) -> Vec<Swe
                     break;
                 };
                 let (idx, label, cfg) = slot.lock().unwrap().take().expect("each slot taken once");
-                let metrics = run(cfg, plan);
-                *results[idx].lock().unwrap() = Some(SweepPoint { label, metrics });
+                let outcome = run(cfg, plan).map(|metrics| SweepPoint { label, metrics });
+                *results[idx].lock().unwrap() = Some(outcome);
             });
         }
     });
@@ -118,7 +133,7 @@ mod tests {
 
     #[test]
     fn single_run_produces_traffic() {
-        let m = run(tiny_cfg(2), RunPlan::quick());
+        let m = run(tiny_cfg(2), RunPlan::quick()).expect("valid config runs");
         assert!(m.delivered_packets > 1000);
         assert!(m.app_throughput_gbps() > 1.0);
     }
@@ -130,7 +145,7 @@ mod tests {
             (3u32, tiny_cfg(3)),
             (4u32, tiny_cfg(4)),
         ];
-        let out = sweep(points, RunPlan::quick());
+        let out = sweep(points, RunPlan::quick()).expect("valid configs run");
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].label, 2);
         assert_eq!(out[1].label, 3);
@@ -142,10 +157,22 @@ mod tests {
     #[test]
     fn sweep_matches_sequential_run() {
         // Parallel execution must not perturb determinism.
-        let par = sweep(vec![((), tiny_cfg(2))], RunPlan::quick());
-        let seq = run(tiny_cfg(2), RunPlan::quick());
+        let par = sweep(vec![((), tiny_cfg(2))], RunPlan::quick()).unwrap();
+        let seq = run(tiny_cfg(2), RunPlan::quick()).unwrap();
         assert_eq!(par[0].metrics.delivered_packets, seq.delivered_packets);
         assert_eq!(par[0].metrics.host_drops(), seq.host_drops());
         assert_eq!(par[0].metrics.iotlb_misses, seq.iotlb_misses);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let cfg = TestbedConfig {
+            senders: 0,
+            ..TestbedConfig::default()
+        };
+        let err = run(cfg.clone(), RunPlan::quick()).unwrap_err();
+        assert!(matches!(err, RunError::InvalidConfig(_)), "{err}");
+        let err = sweep(vec![((), cfg)], RunPlan::quick()).unwrap_err();
+        assert!(matches!(err, RunError::InvalidConfig(_)));
     }
 }

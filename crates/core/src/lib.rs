@@ -15,7 +15,7 @@
 //!
 //! // One point of Figure 3: 4 receiver cores, IOMMU enabled.
 //! let cfg = scenarios::fig3(4, true);
-//! let metrics = run(cfg, RunPlan::quick());
+//! let metrics = run(cfg, RunPlan::quick()).expect("valid config");
 //! assert!(metrics.app_throughput_gbps() > 10.0);
 //! ```
 //!
@@ -38,7 +38,12 @@ pub mod model;
 pub mod report;
 pub mod scenarios;
 
-pub use hostcc_host::{BufferRecycling, CcKind, RunMetrics, Simulation, Testbed, TestbedConfig};
+pub use hostcc_host::{
+    BufferRecycling, CcKind, ConfigError, RunError, RunMetrics, Simulation, Testbed, TestbedConfig,
+};
+
+// Fault injection: deterministic chaos plans and their run summaries.
+pub use hostcc_host::{FaultKind, FaultPlan, FaultSpec, FaultSummary};
 
 // Observability layer: tracing, counters, timelines and exporters.
 pub use hostcc_host::{
@@ -49,6 +54,7 @@ pub use hostcc_host::{
 /// Substrate crates re-exported under one roof.
 pub mod substrate {
     pub use hostcc_fabric as fabric;
+    pub use hostcc_faults as faults;
     pub use hostcc_host as host;
     pub use hostcc_iommu as iommu;
     pub use hostcc_mem as mem;

@@ -3,8 +3,9 @@
 //! Each function returns the `TestbedConfig` for one point of one figure,
 //! so harnesses, examples and tests all drive the *same* configurations.
 
-use hostcc_host::{CcKind, TestbedConfig};
+use hostcc_host::{CcKind, FaultKind, FaultPlan, TestbedConfig};
 use hostcc_mem::PageSize;
+use hostcc_sim::SimDuration;
 use hostcc_transport::DctcpConfig;
 
 /// Baseline testbed (§3 setup): 40 senders, Swift, hugepages, 12 MiB
@@ -184,6 +185,65 @@ pub fn with_subrtt_response(mut cfg: TestbedConfig, host_target_us: u64) -> Test
     cfg
 }
 
+/// Shared base for the chaos scenarios: a smaller testbed (8 senders,
+/// 4 receiver cores) so CI chaos smoke runs stay cheap, with fault
+/// windows recurring every 5 ms from t=6 ms — inside the measurement
+/// interval of both `RunPlan::quick()` (5–15 ms) and the default plan
+/// (25–50 ms), so counters and the recovery summary are populated under
+/// either plan.
+fn chaos_base() -> TestbedConfig {
+    let mut cfg = baseline();
+    cfg.senders = 8;
+    cfg.receiver_threads = 4;
+    // Whole-window losses (blackouts) need partial-ACK recovery to come
+    // back at ACK-clock speed instead of one packet per RTO.
+    cfg.flow.partial_ack_rtx = true;
+    cfg
+}
+
+fn chaos_windows(cfg: &mut TestbedConfig, kind: FaultKind, duration_us: u64) {
+    cfg.faults = FaultPlan::new().recurring(
+        kind,
+        SimDuration::from_millis(6),
+        SimDuration::from_micros(duration_us),
+        SimDuration::from_millis(5),
+        9,
+    );
+}
+
+/// Chaos scenario `chaos-replay`: recurring PCIe link-error windows. 30%
+/// of TLPs are NAKed during each window and replay from the DLLP replay
+/// buffer after an exponentially backed-off replay timer.
+pub fn chaos_replay() -> TestbedConfig {
+    let mut cfg = chaos_base();
+    chaos_windows(&mut cfg, FaultKind::PcieReplay { nak_rate: 0.3 }, 1000);
+    cfg
+}
+
+/// Chaos scenario `chaos-flap`: recurring access-link blackouts. Every
+/// packet on the wire during a 1 ms window is lost; recovery is the
+/// transport's dup-ACK / RTO-backoff machinery.
+pub fn chaos_flap() -> TestbedConfig {
+    let mut cfg = chaos_base();
+    chaos_windows(&mut cfg, FaultKind::LinkFlap, 1000);
+    cfg
+}
+
+/// Chaos scenario `chaos-invalidate`: recurring IOTLB invalidation storms
+/// (a full IOTLB + page-walk-cache flush every 50 µs inside each window),
+/// forcing page-walk bursts on the DMA translation path.
+pub fn chaos_invalidate() -> TestbedConfig {
+    let mut cfg = chaos_base();
+    chaos_windows(
+        &mut cfg,
+        FaultKind::IotlbStorm {
+            flush_period: SimDuration::from_micros(50),
+        },
+        1000,
+    );
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +324,26 @@ mod tests {
         assert_eq!(cfg.iommu.iotlb_ways, 512);
         let cfg = with_membw_qos(baseline(), 0.5);
         assert!((cfg.stream.per_core_bytes_per_sec - 5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn chaos_scenarios_carry_fault_plans() {
+        for cfg in [chaos_replay(), chaos_flap(), chaos_invalidate()] {
+            assert!(!cfg.faults.is_empty());
+            assert_eq!(cfg.faults.window_count(), 9);
+            assert!(cfg.validate().is_ok());
+        }
+        assert!(matches!(
+            chaos_replay().faults.specs[0].kind,
+            FaultKind::PcieReplay { .. }
+        ));
+        assert!(matches!(
+            chaos_flap().faults.specs[0].kind,
+            FaultKind::LinkFlap
+        ));
+        assert!(matches!(
+            chaos_invalidate().faults.specs[0].kind,
+            FaultKind::IotlbStorm { .. }
+        ));
     }
 }

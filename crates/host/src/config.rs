@@ -2,6 +2,7 @@
 //! place, with defaults reproducing the paper's testbed (§3).
 
 use hostcc_fabric::WireFormat;
+use hostcc_faults::FaultPlan;
 use hostcc_iommu::IommuConfig;
 use hostcc_mem::PageSize;
 use hostcc_memsys::{DdioConfig, MemSysConfig, StreamConfig};
@@ -203,6 +204,9 @@ pub struct TestbedConfig {
     pub mem_tick: SimDuration,
     /// Period of the per-flow retransmission-timer sweep.
     pub rto_sweep: SimDuration,
+    /// Deterministic fault-injection schedule. Empty by default: a run
+    /// with an empty plan is bit-identical to one without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for TestbedConfig {
@@ -275,9 +279,63 @@ impl Default for TestbedConfig {
             walk_access_penalty: 1.0,
             mem_tick: SimDuration::from_micros(10),
             rto_sweep: SimDuration::from_micros(250),
+            faults: FaultPlan::new(),
         }
     }
 }
+
+/// A configuration the testbed cannot simulate, with enough context to
+/// tell the user which knob is wrong. Produced by
+/// [`TestbedConfig::validate`]; the library surfaces it as
+/// `RunError::InvalidConfig` instead of panicking (or worse, silently
+/// dividing by zero into an all-NaN report).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `senders == 0`: there is no workload to simulate.
+    ZeroSenders,
+    /// `receiver_threads == 0`: nothing drains the NIC; every run stalls.
+    ZeroReceiverThreads,
+    /// A link rate that is zero, negative, or not finite.
+    NonPositiveLinkRate {
+        /// Which knob: `"sender_link_bps"` or `"access_link_bps"`.
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `duty_cycle` outside (0, 1].
+    DutyCycleOutOfRange(f64),
+    /// A `read_size_mix` entry with a non-positive weight (the sampler
+    /// normalises by the weight sum, so these poison every draw).
+    NonPositiveReadMixWeight {
+        /// The entry's read size, bytes.
+        bytes: u32,
+        /// The offending weight.
+        weight: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroSenders => write!(f, "senders must be at least 1"),
+            ConfigError::ZeroReceiverThreads => write!(f, "receiver_threads must be at least 1"),
+            ConfigError::NonPositiveLinkRate { which, value } => {
+                write!(f, "{which} must be a positive rate, got {value}")
+            }
+            ConfigError::DutyCycleOutOfRange(v) => {
+                write!(f, "duty_cycle must be in (0, 1], got {v}")
+            }
+            ConfigError::NonPositiveReadMixWeight { bytes, weight } => {
+                write!(
+                    f,
+                    "read_size_mix weight for {bytes}-byte reads must be positive, got {weight}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl TestbedConfig {
     /// Total flows: one per (sender, receiver thread) pair.
@@ -289,6 +347,35 @@ impl TestbedConfig {
     /// 92 Gbps green line).
     pub fn max_app_goodput_bps(&self) -> f64 {
         self.access_link_bps * self.wire.goodput_efficiency()
+    }
+
+    /// Check the knobs a caller most plausibly gets wrong (zero
+    /// populations, non-positive rates, out-of-range fractions) before
+    /// building a testbed from them. Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.senders == 0 {
+            return Err(ConfigError::ZeroSenders);
+        }
+        if self.receiver_threads == 0 {
+            return Err(ConfigError::ZeroReceiverThreads);
+        }
+        for (which, value) in [
+            ("sender_link_bps", self.sender_link_bps),
+            ("access_link_bps", self.access_link_bps),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(ConfigError::NonPositiveLinkRate { which, value });
+            }
+        }
+        if !self.duty_cycle.is_finite() || self.duty_cycle <= 0.0 || self.duty_cycle > 1.0 {
+            return Err(ConfigError::DutyCycleOutOfRange(self.duty_cycle));
+        }
+        for &(bytes, weight) in &self.read_size_mix {
+            if !weight.is_finite() || weight <= 0.0 {
+                return Err(ConfigError::NonPositiveReadMixWeight { bytes, weight });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -308,6 +395,81 @@ mod tests {
         );
         assert_eq!(c.credits.max_inflight_writes(4096, 256), 4);
         assert_eq!(c.iommu.iotlb_entries, 128);
+    }
+
+    fn base() -> TestbedConfig {
+        TestbedConfig::default()
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_knobs() {
+        assert_eq!(base().validate(), Ok(()));
+
+        let mut c = base();
+        c.senders = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSenders));
+
+        let mut c = base();
+        c.receiver_threads = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroReceiverThreads));
+
+        let mut c = base();
+        c.access_link_bps = 0.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositiveLinkRate {
+                which: "access_link_bps",
+                value: 0.0
+            })
+        );
+        c.access_link_bps = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveLinkRate { .. })
+        ));
+
+        let mut c = base();
+        c.sender_link_bps = -1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveLinkRate {
+                which: "sender_link_bps",
+                ..
+            })
+        ));
+
+        let mut c = base();
+        c.duty_cycle = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::DutyCycleOutOfRange(0.0)));
+        c.duty_cycle = 1.5;
+        assert_eq!(c.validate(), Err(ConfigError::DutyCycleOutOfRange(1.5)));
+        c.duty_cycle = 1.0;
+        assert_eq!(c.validate(), Ok(()));
+
+        let mut c = base();
+        c.read_size_mix = vec![(4096, 1.0), (65536, 0.0)];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositiveReadMixWeight {
+                bytes: 65536,
+                weight: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn config_errors_render_for_cli() {
+        let msg = ConfigError::DutyCycleOutOfRange(2.0).to_string();
+        assert!(msg.contains("duty_cycle"), "{msg}");
+        let msg = ConfigError::NonPositiveLinkRate {
+            which: "access_link_bps",
+            value: -5.0,
+        }
+        .to_string();
+        assert!(
+            msg.contains("access_link_bps") && msg.contains("-5"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Typed failures for the panic-free run API.
+
+use crate::config::ConfigError;
+use hostcc_sim::SimTime;
+
+/// Why a simulation run could not produce metrics. The library's
+/// top-level entry points (`experiment::run`, `run_traced`, `sweep`)
+/// return this instead of panicking on bad input or spinning forever on a
+/// stalled world.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The configuration failed [`TestbedConfig::validate`](crate::TestbedConfig::validate)
+    /// before the testbed was built.
+    InvalidConfig(ConfigError),
+    /// The engine's progress watchdog tripped: the simulation dispatched
+    /// an implausible number of events without the clock advancing.
+    Stalled {
+        /// The instant progress stopped at.
+        at: SimTime,
+        /// Events still queued when the run was aborted.
+        pending: usize,
+    },
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::InvalidConfig(e)
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            RunError::Stalled { at, pending } => write!(
+                f,
+                "simulation stalled at t={}ns with {pending} events pending \
+                 (the clock stopped advancing; see RunOutcome::Stalled)",
+                at.as_nanos()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::InvalidConfig(e) => Some(e),
+            RunError::Stalled { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = RunError::from(ConfigError::ZeroSenders);
+        assert!(e.to_string().contains("senders"));
+        let e = RunError::Stalled {
+            at: SimTime::from_nanos(99),
+            pending: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("99") && msg.contains("3 events"), "{msg}");
+    }
+}

@@ -72,6 +72,23 @@ pub fn metrics_json(
         w.end_obj();
     }
     w.end_obj();
+    // Fault summary only when a plan actually ran: zero-fault exports
+    // must stay byte-identical to pre-fault-layer builds (golden digests).
+    if let Some(f) = &m.faults {
+        w.key("faults").begin_obj();
+        w.key("windows_injected").int(f.windows_injected);
+        w.key("link_dropped_packets").int(f.link_dropped_packets);
+        w.key("deferred_refills").int(f.deferred_refills);
+        w.key("iotlb_flushes").int(f.iotlb_flushes);
+        w.key("preempt_ns").int(f.preempt_ns);
+        w.key("goodput_before_gbps").num(f.goodput_before_bps / 1e9);
+        w.key("goodput_during_gbps").num(f.goodput_during_bps / 1e9);
+        w.key("goodput_after_gbps").num(f.goodput_after_bps / 1e9);
+        w.key("recovery_observation_ns")
+            .int(f.recovery_observation_ns);
+        w.key("recovered").bool(f.recovered);
+        w.end_obj();
+    }
     w.key("counters").begin_obj();
     for (name, value) in counters.snapshot() {
         w.key(&name).int(value);

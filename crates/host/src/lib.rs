@@ -11,16 +11,22 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod export;
 mod metrics;
 mod vlink;
 mod world;
 
-pub use config::{BufferRecycling, CcKind, TestbedConfig};
+pub use config::{BufferRecycling, CcKind, ConfigError, TestbedConfig};
+pub use error::RunError;
 pub use export::metrics_json;
 pub use metrics::{MetricsCollector, RunMetrics};
 pub use vlink::VariableRateLink;
 pub use world::{DmaJob, Event, Simulation, Testbed};
+
+// Re-export the fault-injection vocabulary (FaultPlan rides on
+// TestbedConfig, so every consumer of the config needs these types).
+pub use hostcc_faults::{FaultKind, FaultPlan, FaultSpec, FaultSummary};
 
 // Re-export the observability vocabulary so downstream crates (core, CLI,
 // harnesses) need only one import path.

@@ -1,6 +1,7 @@
 //! Run metrics: everything the paper's figures plot, measured after a
 //! configurable warm-up.
 
+use hostcc_faults::FaultSummary;
 use hostcc_sim::{Histogram, SimDuration, SimTime};
 use hostcc_trace::StageBreakdown;
 
@@ -54,6 +55,10 @@ pub struct RunMetrics {
     /// packet contributes one sample per stage and the five stage sums
     /// add up to `host_delay.sum()` to the nanosecond.
     pub stage_breakdown: StageBreakdown,
+    /// Fault-injection summary: `Some` only when the run's `FaultPlan`
+    /// was non-empty (zero-fault runs carry no summary so their exported
+    /// metrics stay byte-identical to pre-fault-layer builds).
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunMetrics {
@@ -227,6 +232,7 @@ impl MetricsCollector {
             mean_cwnd,
             occupancy_samples: self.occupancy_samples.clone(),
             stage_breakdown: self.stage_breakdown.clone(),
+            faults: None,
         }
     }
 }

@@ -19,19 +19,21 @@
 //!    Swift compares against its 100 µs target.
 
 use crate::config::{CcKind, TestbedConfig};
+use crate::error::RunError;
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::vlink::VariableRateLink;
 use hostcc_fabric::{
     EnqueueOutcome, FlowId, GenSlab, Link, PacketRef, PacketStore, SlabRef, SwitchPort,
 };
+use hostcc_faults::{FaultKind, FaultState, RecoveryTracker};
 use hostcc_iommu::Iommu;
 use hostcc_mem::{Iova, PageSize, RecycleOrder, RegionRegistry, RxBufferPool};
 use hostcc_memsys::{AgentClass, AgentId, MemorySystem, StreamAntagonist};
 use hostcc_nic::Nic;
-use hostcc_pcie::{CreditState, WriteCredits};
+use hostcc_pcie::{CreditState, ReplayChannel, ReplayConfig, WriteCredits};
 use hostcc_sim::{
-    stream_seed, DispatchProfile, Engine, EventQueue, Ewma, Queue, Scheduler, SerialLink,
-    SimDuration, SimRng, SimTime, World,
+    stream_seed, DispatchProfile, Engine, EventQueue, Ewma, Queue, RunOutcome, Scheduler,
+    SerialLink, SimDuration, SimRng, SimTime, World,
 };
 use hostcc_trace::{
     CounterRegistry, SampleRing, Stage, TimelineRecorder, TraceConfig, TraceEvent, Tracer,
@@ -107,6 +109,10 @@ pub enum Event {
     RtoSweep,
     /// Periodic memory-demand refresh.
     MemTick,
+    /// A fault-plan transition: `(spec_index << 2) | phase`, where phase
+    /// 0 opens a window, 1 closes one, and 2 is an in-window tick (the
+    /// IOTLB-storm flush cadence). Packed to keep the event handle-sized.
+    Fault(u32),
 }
 
 // The whole point of the handle-based datapath: events must stay small
@@ -183,6 +189,30 @@ pub struct Testbed {
     pub timeline: TimelineRecorder,
     rtx_base: u64,
     timeout_base: u64,
+    // --- fault injection ---
+    /// Open-window bookkeeping + fault counters (empty-plan: all idle).
+    pub faults: FaultState,
+    /// Dedicated RNG stream for fault coin flips (NAK draws). Kept apart
+    /// from the workload RNG so wiring the fault layer never perturbs a
+    /// zero-fault run's draws.
+    fault_rng: SimRng,
+    /// PCIe DLLP ACK/NAK replay state (exercised only during replay
+    /// windows; an idle channel costs one branch per DMA).
+    replay: ReplayChannel,
+    /// Goodput before/during/after fault windows.
+    recovery: RecoveryTracker,
+    /// Cached aggregates, refreshed on window edges (hot-path reads).
+    fault_link_down: bool,
+    fault_nak_rate: f64,
+    fault_refill_stalled: bool,
+    fault_throttle: f64,
+    /// Refills deferred per thread while a descriptor stall is open.
+    fault_pending_refills: Vec<u32>,
+    /// Last NIC memory-bandwidth grant computed by the mem tick (so a
+    /// throttle edge can re-rate the pipe immediately, between ticks).
+    last_nic_avail: f64,
+    /// Delivered-byte watermark for recovery goodput sampling.
+    last_delivered_bytes: u64,
 }
 
 impl Testbed {
@@ -343,6 +373,10 @@ impl Testbed {
         let store = PacketStore::with_capacity(1024.max(n_flows * 16));
         let dma = GenSlab::with_capacity(256);
 
+        let faults = FaultState::new(&cfg.faults);
+        let fault_rng = SimRng::new(stream_seed(cfg.seed ^ cfg.faults.seed, 0xFA017));
+        let last_nic_avail = cfg.memsys.achievable_bytes_per_sec();
+
         let _ = &mut rng;
         Testbed {
             rng,
@@ -384,6 +418,17 @@ impl Testbed {
             timeline: TimelineRecorder::disabled(),
             rtx_base: 0,
             timeout_base: 0,
+            faults,
+            fault_rng,
+            replay: ReplayChannel::new(ReplayConfig::default()),
+            recovery: RecoveryTracker::new(),
+            fault_link_down: false,
+            fault_nak_rate: 0.0,
+            fault_refill_stalled: false,
+            fault_throttle: 1.0,
+            fault_pending_refills: vec![0; threads as usize],
+            last_nic_avail,
+            last_delivered_bytes: 0,
             cfg,
         }
     }
@@ -411,6 +456,14 @@ impl Testbed {
         }
         sched.after(self.cfg.mem_tick, Event::MemTick);
         sched.after(self.cfg.rto_sweep, Event::RtoSweep);
+        // Fault windows ride the same wheel as everything else: every
+        // occurrence's opening edge is scheduled up front (closing edges
+        // are scheduled when the window opens). Empty plan = no events.
+        for (idx, spec) in self.cfg.faults.specs.iter().enumerate() {
+            for at in spec.occurrences() {
+                sched.after(at, Event::Fault((idx as u32) << 2));
+            }
+        }
     }
 
     fn flow_index(&self, id: FlowId) -> u32 {
@@ -425,6 +478,16 @@ impl Testbed {
         self.nic.input.reset_peak();
         self.rtx_base = self.flows.iter().map(|f| f.stats().retransmits).sum();
         self.timeout_base = self.flows.iter().map(|f| f.stats().timeouts).sum();
+        if !self.cfg.faults.is_empty() {
+            // Recovery goodput is measured over the same interval as the
+            // headline metrics. Windows already open at arm time carry
+            // over (their closing edges must still balance the tracker).
+            self.recovery = RecoveryTracker::new();
+            for _ in 0..self.faults.open_windows() {
+                self.recovery.on_window_start(now.as_nanos());
+            }
+            self.last_delivered_bytes = 0;
+        }
         self.collect_counters();
         self.counters.mark_baseline();
     }
@@ -439,6 +502,9 @@ impl Testbed {
         let to_now: u64 = self.flows.iter().map(|f| f.stats().timeouts).sum();
         m.retransmits = rtx_now - self.rtx_base;
         m.timeouts = to_now - self.timeout_base;
+        if !self.cfg.faults.is_empty() {
+            m.faults = Some(self.recovery.summarize(&self.faults.counters));
+        }
         self.collect_counters();
         m
     }
@@ -454,6 +520,24 @@ impl Testbed {
             agg.absorb(&f.stats());
         }
         self.counters.collect(&agg);
+        // Fault counters only exist in the registry when a plan is present:
+        // a zero-fault run's counter export must stay byte-identical to a
+        // build without the fault layer.
+        if !self.cfg.faults.is_empty() {
+            self.counters.collect(&self.faults.counters);
+            self.counters.collect(&self.replay);
+        }
+    }
+
+    /// Per-flow progress: (cumulative bytes ACKed at the sender, packets
+    /// delivered in order at the receiver). Chaos tests diff two readings
+    /// to prove no flow is permanently stalled after a fault window.
+    pub fn flow_progress(&self) -> Vec<(u64, u64)> {
+        self.flows
+            .iter()
+            .zip(&self.recv_flows)
+            .map(|(s, r)| (s.cum_acked(), r.delivered_packets()))
+            .collect()
     }
 
     /// Latency charged per page-walk memory access: the memory latency
@@ -560,6 +644,16 @@ impl Testbed {
         pkt: PacketRef,
         sched: &mut Scheduler<Event, Q>,
     ) {
+        // Link-flap blackout: the packet is lost on the wire, so it never
+        // arrives at the NIC at all (no wire-byte accounting, no buffer).
+        if self.fault_link_down {
+            self.store.free(pkt);
+            self.faults.counters.link_dropped_packets += 1;
+            if self.metrics.armed {
+                self.metrics.drops_fabric += 1;
+            }
+            return;
+        }
         let wire_bytes = self.store.get(pkt).wire_bytes;
         if self.metrics.armed {
             self.metrics.nic_arrival_wire_bytes += wire_bytes as u64;
@@ -707,6 +801,16 @@ impl Testbed {
                 );
                 pcie_ns += rt as u64;
             }
+            if self.fault_nak_rate > 0.0 {
+                // PCIe link-layer error window: the DLLP layer NAKs this
+                // TLP with probability `nak_rate` and the write replays
+                // from the replay buffer after a backed-off replay timer.
+                if self.fault_rng.next_f64() < self.fault_nak_rate {
+                    pcie_ns += self.replay.nak();
+                } else {
+                    self.replay.ack();
+                }
+            }
             let done = now + SimDuration::from_nanos(pcie_ns + mem_ns + iommu_ns);
 
             let job = self.dma.alloc(DmaJob {
@@ -785,9 +889,15 @@ impl Testbed {
         if self.cfg.strict_iommu && self.iommu.is_enabled() {
             self.iommu.invalidate_page(job.buffer, self.cfg.data_page);
         }
-        // Free the buffer and replenish the descriptor ring.
+        // Free the buffer and replenish the descriptor ring. During a
+        // descriptor-stall window the refill is deferred instead: the ring
+        // drains, packets drop descriptor-starved, and the backlog posts
+        // when the window closes.
         self.pools[t].free(job.buffer);
-        if self.nic.queues[t].ring.free_slots() > 0 {
+        if self.fault_refill_stalled {
+            self.fault_pending_refills[t] += 1;
+            self.faults.counters.deferred_refills += 1;
+        } else if self.nic.queues[t].ring.free_slots() > 0 {
             if let Some(b) = self.pools[t].alloc() {
                 self.nic.queues[t].ring.post(b);
             }
@@ -935,6 +1045,126 @@ impl Testbed {
         sched.after(self.cfg.rto_sweep, Event::RtoSweep);
     }
 
+    /// A fault-plan transition fired: open a window, close one, or run an
+    /// in-window tick (IOTLB-storm flush). `code` packs
+    /// `(spec_index << 2) | phase`.
+    fn handle_fault<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        code: u32,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        let idx = (code >> 2) as usize;
+        match code & 3 {
+            0 => {
+                // Window opens. The closing edge is scheduled now; at equal
+                // timestamps it was inserted before any storm tick, so the
+                // wheel dispatches it first and ticks see a closed window.
+                let kind = self.faults.begin(idx);
+                self.recovery.on_window_start(now.as_nanos());
+                let duration = self.faults.spec(idx).duration;
+                match kind {
+                    FaultKind::IotlbStorm { .. } => {
+                        sched.immediately(Event::Fault(code | 2));
+                    }
+                    FaultKind::CorePreempt { cores } => {
+                        // Deschedule the first `cores` receiver threads for
+                        // the window: push their busy horizon out to its end.
+                        let horizon = now + duration;
+                        for t in 0..(cores as usize).min(self.core_free_at.len()) {
+                            if self.core_free_at[t] < horizon {
+                                let stolen_from = self.core_free_at[t].max(now);
+                                self.faults.counters.preempt_ns +=
+                                    horizon.saturating_since(stolen_from).as_nanos();
+                                self.core_free_at[t] = horizon;
+                            }
+                        }
+                    }
+                    FaultKind::MemThrottle { .. } => {
+                        self.faults.counters.throttle_windows += 1;
+                    }
+                    _ => {}
+                }
+                self.refresh_fault_aggregates(now);
+                sched.after(duration, Event::Fault(code | 1));
+                if self.tracer.is_enabled() {
+                    self.tracer.record(TraceEvent::value(
+                        now.as_nanos(),
+                        Stage::FaultStart,
+                        idx as f64,
+                    ));
+                }
+            }
+            1 => {
+                let kind = self.faults.end(idx);
+                self.recovery.on_window_end(now.as_nanos());
+                self.refresh_fault_aggregates(now);
+                if matches!(kind, FaultKind::DescriptorStall) && !self.fault_refill_stalled {
+                    self.drain_deferred_refills(sched);
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer.record(TraceEvent::value(
+                        now.as_nanos(),
+                        Stage::FaultEnd,
+                        idx as f64,
+                    ));
+                }
+            }
+            _ => {
+                // Storm tick: flush, then rearm while the window is open.
+                if self.faults.is_open(idx) {
+                    if self.iommu.is_enabled() {
+                        self.iommu.invalidate_all();
+                        self.faults.counters.iotlb_flushes += 1;
+                    }
+                    if let FaultKind::IotlbStorm { flush_period } = self.faults.spec(idx).kind {
+                        let period = flush_period.max(SimDuration::from_nanos(1));
+                        sched.after(period, Event::Fault(code));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recompute the cached hot-path fault aggregates after a window edge.
+    fn refresh_fault_aggregates(&mut self, now: SimTime) {
+        self.fault_link_down = self.faults.link_down();
+        self.fault_nak_rate = self.faults.nak_rate();
+        self.fault_refill_stalled = self.faults.refill_stalled();
+        let throttle = self.faults.throttle_factor();
+        if throttle != self.fault_throttle {
+            // Re-rate the memory stage immediately rather than waiting for
+            // the next mem tick; the tick will keep it fresh afterwards.
+            self.fault_throttle = throttle;
+            self.mem_pipe
+                .set_rate(now, (self.last_nic_avail * throttle).max(1.0));
+        }
+    }
+
+    /// Post every refill deferred during a descriptor-stall window.
+    fn drain_deferred_refills<Q: Queue<Event>>(&mut self, sched: &mut Scheduler<Event, Q>) {
+        let mut posted = false;
+        for t in 0..self.fault_pending_refills.len() {
+            while self.fault_pending_refills[t] > 0 && self.nic.queues[t].ring.free_slots() > 0 {
+                match self.pools[t].alloc() {
+                    Some(b) => {
+                        self.nic.queues[t].ring.post(b);
+                        self.fault_pending_refills[t] -= 1;
+                        posted = true;
+                    }
+                    None => break,
+                }
+            }
+            // Whatever could not be posted (ring full / pool drained) is
+            // owed nothing further: the normal per-packet refill path
+            // keeps the ring fed from here on.
+            self.fault_pending_refills[t] = 0;
+        }
+        if posted {
+            self.kick_dma_launch(sched);
+        }
+    }
+
     fn handle_mem_tick<Q: Queue<Event>>(&mut self, now: SimTime, sched: &mut Scheduler<Event, Q>) {
         let dt = now.saturating_since(self.last_tick).as_secs_f64();
         if dt > 0.0 {
@@ -971,7 +1201,16 @@ impl Testbed {
             let cpu_alloc =
                 self.antagonist.achieved(&mut self.mem) + self.mem.allocation(self.app_agent);
             let nic_avail = (capacity - cpu_alloc).max(2e9);
-            self.mem_pipe.set_rate(now, nic_avail);
+            self.last_nic_avail = nic_avail;
+            // An open throttle window multiplies the NIC's grant. The
+            // guard keeps the zero-fault path free of any f64 op, so its
+            // grants stay bit-identical to a build without the fault layer.
+            let granted = if self.fault_throttle == 1.0 {
+                nic_avail
+            } else {
+                nic_avail * self.fault_throttle
+            };
+            self.mem_pipe.set_rate(now, granted);
 
             if self.metrics.armed {
                 // Report *measured* traffic (Fig. 6 top panel), not the
@@ -979,7 +1218,7 @@ impl Testbed {
                 let cpu_side =
                     self.antagonist.achieved(&mut self.mem) + self.mem.allocation(self.app_agent);
                 self.metrics.mem_bw_sum += cpu_side + self.nic_demand.get();
-                self.metrics.nic_bw_sum += nic_avail;
+                self.metrics.nic_bw_sum += granted;
                 self.metrics.mem_bw_samples += 1;
                 let since = now.saturating_since(self.metrics.started).as_nanos();
                 self.metrics
@@ -1002,7 +1241,7 @@ impl Testbed {
                     self.nic.input.occupancy_bytes() as f64,
                 );
                 self.timeline
-                    .offer("nic.mem_bandwidth_bytes_per_sec", t, nic_avail);
+                    .offer("nic.mem_bandwidth_bytes_per_sec", t, granted);
                 self.timeline.offer(
                     "switch.backlog_us",
                     t,
@@ -1014,6 +1253,15 @@ impl Testbed {
                     self.flows.iter().map(|f| f.cwnd()).sum::<f64>() / self.flows.len() as f64;
                 self.timeline.offer("cc.mean_cwnd", t, mean_cwnd);
             }
+        }
+        // Recovery goodput sampling rides the mem tick: the delivered-byte
+        // delta since the last tick is attributed to the before / during /
+        // after phase by the tracker's open-window state.
+        if !self.cfg.faults.is_empty() && self.metrics.armed {
+            let delivered = self.metrics.delivered_payload_bytes;
+            let delta = delivered - self.last_delivered_bytes;
+            self.last_delivered_bytes = delivered;
+            self.recovery.sample(now.as_nanos(), delta);
         }
         self.window_payload = 0;
         self.window_walks = 0;
@@ -1045,6 +1293,7 @@ impl World for Testbed {
             } => self.handle_ack(now, flow, ack, frontier, sched),
             Event::RtoSweep => self.handle_rto_sweep(now, sched),
             Event::MemTick => self.handle_mem_tick(now, sched),
+            Event::Fault(code) => self.handle_fault(now, code, sched),
         }
     }
 }
@@ -1057,6 +1306,13 @@ impl World for Testbed {
 pub struct Simulation<Q: Queue<Event> = EventQueue<Event>> {
     engine: Engine<Testbed, Q>,
 }
+
+/// Progress watchdog threshold: consecutive same-timestamp dispatches
+/// before the engine gives up with [`RunOutcome::Stalled`]. The testbed's
+/// legitimate zero-time bursts (DMA launch cascades, ACK fan-out) stay in
+/// the hundreds even at full scale; a million same-instant events means
+/// the clock has genuinely stopped advancing.
+const STALL_LIMIT: u64 = 1_000_000;
 
 impl Simulation {
     /// Build and start a testbed simulation.
@@ -1073,6 +1329,7 @@ impl Simulation {
         testbed.set_trace(trace);
         let mut engine = Engine::new(testbed);
         engine.enable_profiling();
+        engine.stall_limit = Some(STALL_LIMIT);
         let Engine { world, sched, .. } = &mut engine;
         world.start(sched);
         Simulation { engine }
@@ -1091,6 +1348,7 @@ impl<Q: Queue<Event>> Simulation<Q> {
     /// Build and start a testbed simulation over queue implementation `Q`.
     pub fn with_queue(cfg: TestbedConfig) -> Self {
         let mut engine = Engine::with_queue(Testbed::new(cfg));
+        engine.stall_limit = Some(STALL_LIMIT);
         let Engine { world, sched, .. } = &mut engine;
         world.start(sched);
         Simulation { engine }
@@ -1138,15 +1396,40 @@ impl<Q: Queue<Event>> Simulation<Q> {
     }
 
     /// Run `warmup` of simulated time to reach steady state, then measure
-    /// for `measure` and return the metrics.
-    pub fn run(&mut self, warmup: SimDuration, measure: SimDuration) -> RunMetrics {
+    /// for `measure` and return the metrics — or a typed error when the
+    /// progress watchdog detects a stalled clock. This is the panic-free
+    /// entry point `experiment::run` builds on.
+    pub fn try_run(
+        &mut self,
+        warmup: SimDuration,
+        measure: SimDuration,
+    ) -> Result<RunMetrics, RunError> {
         let t0 = self.engine.now();
-        self.engine.run_until(t0 + warmup);
+        let warm = self.engine.run_until(t0 + warmup);
+        self.check_outcome(warm)?;
         let t1 = self.engine.now();
         self.engine.world.arm_metrics(t1);
-        self.engine.run_until(t1 + measure);
+        let meas = self.engine.run_until(t1 + measure);
+        self.check_outcome(meas)?;
         let t2 = self.engine.now();
-        self.engine.world.snapshot(t2)
+        Ok(self.engine.world.snapshot(t2))
+    }
+
+    fn check_outcome(&self, outcome: RunOutcome) -> Result<(), RunError> {
+        match outcome {
+            RunOutcome::Stalled { at } => Err(RunError::Stalled {
+                at,
+                pending: self.engine.sched.pending(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Run and panic on a watchdog stall (the convenient form for tests
+    /// and harnesses that construct configs known to make progress).
+    pub fn run(&mut self, warmup: SimDuration, measure: SimDuration) -> RunMetrics {
+        self.try_run(warmup, measure)
+            .expect("simulation run failed")
     }
 }
 

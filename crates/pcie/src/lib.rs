@@ -14,7 +14,9 @@ mod counters;
 mod credits;
 mod link;
 mod reads;
+mod replay;
 
 pub use credits::{credits_for_write, CreditConfig, CreditState, WriteCredits, PD_CREDIT_BYTES};
 pub use link::{PcieGen, PcieLinkConfig, DLLP_OVERHEAD_BYTES_PER_TLP, TLP_OVERHEAD_BYTES};
 pub use reads::{read_round_trip_ns, ReadChannel, ReadChannelConfig};
+pub use replay::{ReplayChannel, ReplayConfig};

@@ -125,6 +125,15 @@ pub enum RunOutcome {
         /// Time at which the budget ran out.
         at: SimTime,
     },
+    /// The progress watchdog tripped: more than `stall_limit` consecutive
+    /// events were dispatched without the simulation clock advancing —
+    /// the world is almost certainly rescheduling itself at the same
+    /// instant forever. Returned instead of spinning until the heat death
+    /// of the host.
+    Stalled {
+        /// The instant the simulation stopped making progress at.
+        at: SimTime,
+    },
 }
 
 /// Wall-clock dispatch statistics for profiled engines: how many events
@@ -157,6 +166,11 @@ pub struct Engine<W: World, Q: Queue<W::Event> = EventQueue<<W as World>::Event>
     pub sched: Scheduler<W::Event, Q>,
     /// Safety valve: maximum events per `run_until` call (default: no limit).
     pub event_budget: Option<u64>,
+    /// Progress watchdog: maximum consecutive events at one timestamp
+    /// before the run aborts with [`RunOutcome::Stalled`] (default: no
+    /// limit). Same-time bursts are normal (FIFO fan-out), so set this
+    /// well above any legitimate burst — the harness uses one million.
+    pub stall_limit: Option<u64>,
     /// Dispatch profiling accumulator (`None` = off, the default).
     profile: Option<DispatchProfile>,
 }
@@ -175,6 +189,7 @@ impl<W: World, Q: Queue<W::Event>> Engine<W, Q> {
             world,
             sched: Scheduler::with_queue(),
             event_budget: None,
+            stall_limit: None,
             profile: None,
         }
     }
@@ -218,6 +233,9 @@ impl<W: World, Q: Queue<W::Event>> Engine<W, Q> {
 
     fn run_until_inner(&mut self, deadline: SimTime) -> RunOutcome {
         let mut budget = self.event_budget;
+        // Progress watchdog: count consecutive dispatches at one
+        // timestamp; any clock advance resets the count.
+        let mut same_time_run = 0u64;
         loop {
             let Some(t) = self.sched.queue.peek_time() else {
                 let at = self.sched.now;
@@ -245,6 +263,15 @@ impl<W: World, Q: Queue<W::Event>> Engine<W, Q> {
             // Defence in depth (queues clamp on push already): never let
             // the clock move backwards, in any build profile.
             let t = t.max(self.sched.now);
+            if let Some(limit) = self.stall_limit {
+                if t > self.sched.now {
+                    same_time_run = 0;
+                }
+                same_time_run += 1;
+                if same_time_run > limit {
+                    return RunOutcome::Stalled { at: t };
+                }
+            }
             self.sched.now = t;
             self.world.handle(t, ev, &mut self.sched);
         }
@@ -401,6 +428,59 @@ mod tests {
         let out = eng.run_to_completion();
         assert!(matches!(out, RunOutcome::EventBudgetExhausted { .. }));
         assert_eq!(eng.world.log.len(), 10);
+    }
+
+    #[test]
+    fn stall_watchdog_catches_zero_time_loop() {
+        // A world that reschedules itself at the same instant forever:
+        // without the watchdog, `run_to_completion` never returns.
+        struct Spinner;
+        impl World for Spinner {
+            type Event = ();
+            fn handle<Q: Queue<()>>(&mut self, _: SimTime, _: (), sched: &mut Scheduler<(), Q>) {
+                sched.immediately(());
+            }
+        }
+        let mut eng = Engine::new(Spinner);
+        eng.stall_limit = Some(1000);
+        eng.sched.at(SimTime::from_nanos(42), ());
+        let out = eng.run_to_completion();
+        assert_eq!(
+            out,
+            RunOutcome::Stalled {
+                at: SimTime::from_nanos(42)
+            }
+        );
+    }
+
+    #[test]
+    fn stall_watchdog_resets_when_clock_advances() {
+        // Legitimate same-time bursts (FIFO fan-out) shorter than the
+        // limit must never trip the watchdog, however many of them occur.
+        struct Burst {
+            bursts_left: u32,
+        }
+        impl World for Burst {
+            type Event = u32;
+            fn handle<Q: Queue<u32>>(
+                &mut self,
+                _: SimTime,
+                ev: u32,
+                sched: &mut Scheduler<u32, Q>,
+            ) {
+                if ev > 0 {
+                    sched.immediately(ev - 1); // burst of `ev` same-time events
+                } else if self.bursts_left > 0 {
+                    self.bursts_left -= 1;
+                    sched.after(SimDuration::from_nanos(5), 8);
+                }
+            }
+        }
+        let mut eng = Engine::new(Burst { bursts_left: 100 });
+        eng.stall_limit = Some(10); // > burst length 9, < total events
+        eng.sched.immediately(8);
+        let out = eng.run_to_completion();
+        assert!(matches!(out, RunOutcome::QueueEmpty { .. }), "{out:?}");
     }
 
     #[test]

@@ -51,6 +51,15 @@ impl TokenBucket {
 
     /// Try to consume `bytes` at `now`. On failure returns the earliest time
     /// at which the bucket will hold enough tokens.
+    ///
+    /// Progress contract: the returned wake-up time is *strictly* later
+    /// than `now`. A caller that sleeps until the returned time and
+    /// retries therefore always advances the clock between attempts — a
+    /// same-time `Err` would let a retry loop spin the event queue at one
+    /// instant forever (the stall the engine watchdog exists to catch).
+    /// The deficit can round to a zero-duration wait when the rate is
+    /// enormous relative to the shortfall (e.g. a sub-token deficit at
+    /// hundreds of GB/s), so a zero wait is clamped up to 1 ns.
     pub fn try_consume(&mut self, now: SimTime, bytes: u64) -> Result<(), SimTime> {
         self.refill(now);
         let need = bytes as f64;
@@ -60,14 +69,14 @@ impl TokenBucket {
         } else {
             let deficit = need - self.tokens;
             let wait = SimDuration::from_secs_f64(deficit / self.rate_bps);
-            // Waiting at least 1ns avoids a same-time retry loop when the
-            // deficit rounds to zero.
             let wait = if wait.is_zero() {
                 SimDuration::from_nanos(1)
             } else {
                 wait
             };
-            Err(now + wait)
+            let ready = now + wait;
+            debug_assert!(ready > now, "pacer wakeups must advance time");
+            Err(ready)
         }
     }
 }
@@ -166,6 +175,28 @@ mod tests {
             Ok(()) => panic!("should pace"),
         }
         assert_eq!(tb.rate(), 2e9);
+    }
+
+    #[test]
+    fn token_bucket_zero_duration_grant_still_advances_time() {
+        // Regression for the same-time retry hazard: at an extreme rate a
+        // sub-token deficit computes a wait that rounds to zero
+        // nanoseconds. The advertised ready time must still be strictly
+        // after `now`, or a sleep-and-retry caller would loop at one
+        // instant forever.
+        let mut tb = TokenBucket::new(1e12, 10.0); // 1 TB/s, 10 B burst
+        let t0 = SimTime::from_nanos(7);
+        assert!(tb.try_consume(t0, 10).is_ok());
+        // Deficit of 1 B at 1 TB/s = 1 ps -> rounds to a zero-duration wait.
+        match tb.try_consume(t0, 1) {
+            Err(ready) => {
+                assert!(ready > t0, "ready time must advance past now");
+                assert_eq!(ready.as_nanos(), t0.as_nanos() + 1, "clamped to 1 ns");
+                // And retrying at the advertised time succeeds.
+                assert!(tb.try_consume(ready, 1).is_ok());
+            }
+            Ok(()) => panic!("bucket was empty; consume must pace"),
+        }
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub enum Stage {
     CpuProcess,
     /// A congestion-control window update (value = new cwnd).
     CwndUpdate,
+    /// A fault-injection window opened (value = fault spec index).
+    FaultStart,
+    /// A fault-injection window closed (value = fault spec index).
+    FaultEnd,
 }
 
 impl Stage {
@@ -55,6 +59,8 @@ impl Stage {
             Stage::CpuDequeue => "cpu.dequeue",
             Stage::CpuProcess => "stage.cpu",
             Stage::CwndUpdate => "cc.cwnd",
+            Stage::FaultStart => "fault.start",
+            Stage::FaultEnd => "fault.end",
         }
     }
 }
@@ -200,6 +206,8 @@ mod tests {
             Stage::CpuDequeue,
             Stage::CpuProcess,
             Stage::CwndUpdate,
+            Stage::FaultStart,
+            Stage::FaultEnd,
         ];
         let mut names: Vec<_> = all.iter().map(|s| s.name()).collect();
         let before = names.len();

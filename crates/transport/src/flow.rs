@@ -19,6 +19,15 @@ pub struct FlowConfig {
     pub rto_floor: SimDuration,
     /// Duplicate ACKs that trigger a fast retransmit.
     pub dupack_threshold: u32,
+    /// NewReno-style partial-ACK retransmission (RFC 6582): during loss
+    /// recovery, an ACK that advances `cum_acked` but stops short of the
+    /// recovery point marks the new head-of-line packet lost too, and it
+    /// is retransmitted immediately — with the allowance doubling per
+    /// round, as slow start would — instead of waiting a full RTO per
+    /// packet. Off by default to preserve the calibrated baseline loss
+    /// behaviour; chaos scenarios enable it so whole-window losses (link
+    /// blackouts) recover at ACK-clock speed.
+    pub partial_ack_rtx: bool,
 }
 
 impl Default for FlowConfig {
@@ -27,6 +36,7 @@ impl Default for FlowConfig {
             initial_cwnd: 8.0,
             rto_floor: SimDuration::from_millis(1),
             dupack_threshold: 3,
+            partial_ack_rtx: false,
         }
     }
 }
@@ -181,6 +191,10 @@ pub struct SenderFlow {
     rtx_queue: VecDeque<u64>,
     dup_acks: u32,
     recovery_end: u64,
+    /// Next candidate for a partial-ACK retransmission in the current
+    /// recovery episode (never re-queues a sequence already retransmitted
+    /// this episode).
+    rtx_next: u64,
     data_frontier: u64,
     next_pace_at: SimTime,
     /// Consecutive timeouts without an intervening new ACK (exponential
@@ -216,6 +230,7 @@ impl SenderFlow {
             rtx_queue: VecDeque::with_capacity(32),
             dup_acks: 0,
             recovery_end: 0,
+            rtx_next: 0,
             data_frontier: u64::MAX,
             next_pace_at: SimTime::ZERO,
             backoff: 0,
@@ -335,6 +350,9 @@ impl SenderFlow {
                 nic_buffer_frac,
                 newly_acked: newly,
             });
+            if self.cfg.partial_ack_rtx && self.cum_acked < self.recovery_end {
+                self.on_partial_ack();
+            }
         } else if ack_seq == self.cum_acked && !self.outstanding.is_empty() {
             // Duplicate ACK: the receiver is still waiting for cum_acked.
             self.dup_acks += 1;
@@ -347,11 +365,32 @@ impl SenderFlow {
                     self.rtx_queue.push_back(self.cum_acked);
                 }
                 self.recovery_end = self.next_new_seq;
+                self.rtx_next = self.cum_acked + 1;
                 self.dup_acks = 0;
                 self.stats.fast_retransmits += 1;
                 self.cc.on_loss(now, LossKind::FastRetransmit);
             }
         }
+    }
+
+    /// A partial ACK landed mid-recovery: the sequence the receiver now
+    /// waits for was lost in the same event, so queue it (and the next
+    /// not-yet-retransmitted one) for immediate retransmission. Queueing
+    /// two per partial ACK doubles the retransmission allowance each
+    /// round-trip — the slow-start ramp TCP performs after a timeout —
+    /// so an entire blacked-out window clears in O(log) round-trips.
+    fn on_partial_ack(&mut self) {
+        let mut queued = 0;
+        let mut seq = self.rtx_next.max(self.cum_acked);
+        while queued < 2 && seq < self.recovery_end {
+            if self.outstanding.contains(seq) && !self.rtx_queue.contains(&seq) {
+                self.outstanding.remove(seq);
+                self.rtx_queue.push_back(seq);
+                queued += 1;
+            }
+            seq += 1;
+        }
+        self.rtx_next = seq;
     }
 
     /// Earliest transmission time among in-flight packets (RTO anchor).
@@ -382,6 +421,7 @@ impl SenderFlow {
         self.outstanding.set_all_sent_at(now);
         self.dup_acks = 0;
         self.recovery_end = self.next_new_seq;
+        self.rtx_next = head + 1;
         self.backoff = (self.backoff + 1).min(6); // cap at 64x
         self.stats.timeouts += 1;
         self.cc.on_loss(now, LossKind::Timeout);
@@ -677,6 +717,117 @@ mod tests {
             0.0,
         );
         assert_eq!(f.backed_off_rto(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn rto_backoff_doubles_per_timeout_and_caps_at_64x() {
+        // The backed-off RTO is `base << backoff.min(6)`: 1, 2, 4, 8, 16,
+        // 32, 64 ms — then pinned at 64x for every further consecutive
+        // timeout. Each step waits exactly the advertised RTO.
+        let mut f = flow(4.0);
+        let mut t = SimTime::ZERO;
+        f.try_send(t).unwrap();
+        for step in 0..10u32 {
+            let expect = SimDuration::from_millis(1) * (1u64 << step.min(6));
+            assert_eq!(f.backed_off_rto(), expect, "before timeout {step}");
+            // One instant before the deadline the timer must not fire.
+            let early = t + expect - SimDuration::from_nanos(1);
+            assert!(!f.check_timeout(early), "fired early at step {step}");
+            t += expect;
+            assert!(f.check_timeout(t), "timeout {step}");
+            f.try_send(t).unwrap(); // retransmit restarts the timer
+        }
+        assert_eq!(f.backed_off_rto(), SimDuration::from_millis(64));
+        assert_eq!(f.stats().timeouts, 10);
+    }
+
+    #[test]
+    fn dup_acks_do_not_reset_rto_backoff() {
+        // Only an ACK covering new data resets the backoff; duplicate
+        // ACKs (no progress) must leave the backed-off timer alone.
+        let mut f = flow(4.0);
+        f.try_send(SimTime::ZERO).unwrap();
+        f.try_send(SimTime::ZERO).unwrap();
+        assert!(f.check_timeout(SimTime::from_millis(1)));
+        assert_eq!(f.backed_off_rto(), SimDuration::from_millis(2));
+        for i in 0..2 {
+            ack(&mut f, 1100 + i, 0); // duplicate: receiver still at 0
+        }
+        assert_eq!(
+            f.backed_off_rto(),
+            SimDuration::from_millis(2),
+            "dup ACKs must not reset backoff"
+        );
+        // New data acknowledged (seq 1, still outstanding): backoff
+        // resets to the base RTO.
+        ack(&mut f, 1200, 2);
+        assert_eq!(f.backed_off_rto(), SimDuration::from_millis(1));
+    }
+
+    fn newreno_flow(cwnd: f64) -> SenderFlow {
+        let cfg = FlowConfig {
+            partial_ack_rtx: true,
+            ..FlowConfig::default()
+        };
+        SenderFlow::new(cfg, Box::new(FixedWindow::new(cwnd)))
+    }
+
+    #[test]
+    fn partial_acks_drive_recovery_at_ack_clock_speed() {
+        // Six packets in flight, all lost (blackout). After the single
+        // RTO retransmission, each partial ACK immediately queues the
+        // next two lost packets — no further timeouts needed.
+        let mut f = newreno_flow(6.0);
+        f.set_data_frontier(6);
+        for i in 0..6 {
+            assert_eq!(f.try_send(SimTime::ZERO), Ok(i));
+        }
+        assert!(f.check_timeout(SimTime::from_millis(1)));
+        assert_eq!(f.try_send(SimTime::from_millis(1)), Ok(0), "RTO head rtx");
+
+        // ACK of seq 0 arrives: partial (recovery point is 6), so seqs 1
+        // and 2 are queued and sent back-to-back.
+        ack(&mut f, 1100, 1);
+        assert_eq!(f.try_send(SimTime::from_micros(1100)), Ok(1));
+        assert_eq!(f.try_send(SimTime::from_micros(1100)), Ok(2));
+        // The allowance doubles per round: the next partial ACK queues 3
+        // and 4, and 3's own ACK queues 5 — never re-queueing 4, which
+        // was already retransmitted this episode.
+        ack(&mut f, 1200, 2);
+        assert_eq!(f.try_send(SimTime::from_micros(1200)), Ok(3));
+        assert_eq!(f.try_send(SimTime::from_micros(1200)), Ok(4));
+        ack(&mut f, 1300, 3);
+        assert_eq!(f.try_send(SimTime::from_micros(1300)), Ok(5));
+        assert_eq!(
+            f.try_send(SimTime::from_micros(1300)),
+            Err(SendBlocked::DataLimited),
+            "nothing left to retransmit and frontier reached"
+        );
+        ack(&mut f, 1400, 6);
+        assert_eq!(f.inflight(), 0);
+        assert_eq!(f.stats().timeouts, 1, "one RTO clears the whole window");
+        assert_eq!(f.stats().retransmits, 6);
+    }
+
+    #[test]
+    fn partial_ack_rtx_is_off_by_default() {
+        // Same blackout with the default config: after the RTO head
+        // retransmission, a partial ACK queues nothing — the remaining
+        // losses each wait their own timeout (the pinned seed behaviour).
+        let mut f = flow(6.0);
+        f.set_data_frontier(6);
+        for i in 0..6 {
+            assert_eq!(f.try_send(SimTime::ZERO), Ok(i));
+        }
+        assert!(f.check_timeout(SimTime::from_millis(1)));
+        assert_eq!(f.try_send(SimTime::from_millis(1)), Ok(0));
+        ack(&mut f, 1100, 1);
+        assert_eq!(
+            f.try_send(SimTime::from_micros(1100)),
+            Err(SendBlocked::DataLimited),
+            "no partial-ACK retransmission without the flag"
+        );
+        assert_eq!(f.stats().retransmits, 1);
     }
 
     #[test]

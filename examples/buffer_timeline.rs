@@ -20,7 +20,8 @@ fn main() {
             warmup: SimDuration::from_millis(25),
             measure: SimDuration::from_millis(3),
         },
-    );
+    )
+    .expect("fig3 config runs");
 
     println!(
         "\nNIC input buffer occupancy over {} (capacity {} KiB):\n",

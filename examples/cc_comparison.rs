@@ -17,7 +17,7 @@ fn main() {
         ("fixed-8", scenarios::with_fixed_window(congested(), 8.0)),
     ];
     println!("comparing controllers at 14 receiver cores, IOMMU on...");
-    let results = sweep(points, RunPlan::default());
+    let results = sweep(points, RunPlan::default()).expect("cc configs run");
 
     println!(
         "\n{:>8} {:>9} {:>8} {:>12} {:>12} {:>12}",

@@ -25,7 +25,7 @@ fn main() {
         "running {} testbed configurations in parallel...",
         points.len()
     );
-    let results = sweep(points, RunPlan::default());
+    let results = sweep(points, RunPlan::default()).expect("fig3 configs run");
 
     println!(
         "\n{:>5} {:>6} {:>9} {:>10} {:>10} {:>10} {:>8}",

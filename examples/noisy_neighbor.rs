@@ -19,7 +19,7 @@ fn main() {
         "running {} configurations (12 receiver cores, IOMMU off, STREAM antagonist)...",
         points.len()
     );
-    let results = sweep(points, RunPlan::default());
+    let results = sweep(points, RunPlan::default()).expect("fig6 configs run");
 
     println!(
         "\n{:>10} {:>9} {:>12} {:>10} {:>12}",

@@ -21,7 +21,7 @@ fn main() {
         cfg.data_page,
     );
 
-    let metrics = run(cfg, RunPlan::default());
+    let metrics = run(cfg, RunPlan::default()).expect("baseline config runs");
 
     println!(
         "\n--- results over {} of steady state ---",

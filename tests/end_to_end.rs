@@ -2,10 +2,16 @@
 //! simulated testbed (senders → fabric → NIC → PCIe → IOMMU → memory →
 //! receiver cores → ACKs → senders).
 
-use hostcc::experiment::{run, RunPlan};
+use hostcc::experiment::{run as try_run, RunPlan};
 use hostcc::model::ThroughputModel;
 use hostcc::scenarios;
 use hostcc::TestbedConfig;
+
+/// `experiment::run` is panic-free; these tests only use configurations
+/// known to be valid and to make progress, so unwrap at the edge.
+fn run(cfg: TestbedConfig, plan: RunPlan) -> hostcc::RunMetrics {
+    try_run(cfg, plan).expect("test config runs")
+}
 
 fn quick(cfg: TestbedConfig) -> hostcc::RunMetrics {
     run(cfg, RunPlan::quick())

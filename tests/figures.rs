@@ -6,8 +6,19 @@
 //! harnesses.
 
 use hostcc::cluster::{simulate, summarize, ClusterConfig};
-use hostcc::experiment::{run, sweep, RunPlan};
+use hostcc::experiment::{run as try_run, sweep as try_sweep, RunPlan, SweepPoint};
 use hostcc::scenarios;
+use hostcc::TestbedConfig;
+
+/// These figure tests drive known-valid configurations; unwrap the
+/// panic-free experiment API at the edge.
+fn run(cfg: TestbedConfig, plan: RunPlan) -> hostcc::RunMetrics {
+    try_run(cfg, plan).expect("figure config runs")
+}
+
+fn sweep<L: Send>(points: Vec<(L, TestbedConfig)>, plan: RunPlan) -> Vec<SweepPoint<L>> {
+    try_sweep(points, plan).expect("figure configs run")
+}
 
 fn plan() -> RunPlan {
     RunPlan {

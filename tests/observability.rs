@@ -4,14 +4,28 @@
 //! exporters (Chrome trace JSON, metrics JSON) must emit valid JSON
 //! with the expected shape.
 
-use hostcc::experiment::{run, run_traced, RunPlan};
+use hostcc::experiment::{run as try_run, run_traced as try_run_traced, RunPlan};
 use hostcc::substrate::trace::json;
-use hostcc::{chrome_trace_json, metrics_json, scenarios, Stage, TraceConfig};
+use hostcc::{chrome_trace_json, metrics_json, scenarios, Simulation, Stage, TraceConfig};
 
 fn cfg() -> hostcc::TestbedConfig {
     let mut cfg = scenarios::fig3(8, true);
     cfg.senders = 6;
     cfg
+}
+
+/// These tests drive known-valid configurations; unwrap the panic-free
+/// experiment API at the edge.
+fn run(cfg: hostcc::TestbedConfig, plan: RunPlan) -> hostcc::RunMetrics {
+    try_run(cfg, plan).expect("test config runs")
+}
+
+fn run_traced(
+    cfg: hostcc::TestbedConfig,
+    plan: RunPlan,
+    trace: TraceConfig,
+) -> (hostcc::RunMetrics, Simulation) {
+    try_run_traced(cfg, plan, trace).expect("test config runs traced")
 }
 
 /// Tracing is observational only: a traced run produces bit-identical

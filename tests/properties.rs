@@ -6,11 +6,17 @@
 //! with fixed seeds, so every run exercises the same cases and failures
 //! reproduce exactly.
 
-use hostcc::experiment::{run, RunPlan};
+use hostcc::experiment::{run as try_run, RunPlan};
 use hostcc::substrate::iommu::{Iotlb, IotlbTag};
 use hostcc::substrate::mem::{IoPageTable, Iova, PageSize, PhysAddr};
 use hostcc::substrate::sim::{EventQueue, SimDuration, SimRng, SimTime};
 use hostcc::TestbedConfig;
+
+/// Property cases only draw valid configurations; unwrap the panic-free
+/// experiment API at the edge.
+fn run(cfg: TestbedConfig, plan: RunPlan) -> hostcc::RunMetrics {
+    try_run(cfg, plan).expect("property config runs")
+}
 
 /// Any small testbed configuration must run without panicking and
 /// satisfy basic accounting invariants.
