@@ -21,8 +21,10 @@ pub struct ParsedArgs {
 pub enum ArgError {
     /// No subcommand given.
     MissingCommand,
-    /// A `--flag` appeared with no value where one was required later.
+    /// A `--flag` that is not a recognised switch and took no value.
     UnknownFlag(String),
+    /// A value-taking `--flag` appeared with no value following it.
+    MissingValue(String),
     /// A flag value failed to parse.
     BadValue {
         /// The flag name.
@@ -39,6 +41,9 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::MissingCommand => write!(f, "missing command; try `hostcc help`"),
             ArgError::UnknownFlag(name) => write!(f, "unknown flag --{name}"),
+            ArgError::MissingValue(name) => {
+                write!(f, "flag --{name} requires a value, but none was given")
+            }
             ArgError::BadValue {
                 flag,
                 value,
@@ -55,6 +60,26 @@ impl std::error::Error for ArgError {}
 /// Switches (flags that take no value).
 const SWITCHES: &[&str] = &["csv", "json", "quick", "help"];
 
+/// Value-taking flags the CLI understands. Anything else is a typo the
+/// parser rejects up front — silently ignoring it would make e.g.
+/// `--thread 14` run with the scenario default.
+const VALUE_FLAGS: &[&str] = &[
+    "threads",
+    "senders",
+    "antagonists",
+    "seed",
+    "iommu",
+    "region-mib",
+    "host-target-us",
+    "warmup-ms",
+    "measure-ms",
+    "faults",
+    "trace-out",
+    "trace-cap",
+    "sample",
+    "timeline",
+];
+
 /// Parse a raw argument vector (excluding argv[0]).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgError> {
     let mut it = args.into_iter().peekable();
@@ -65,12 +90,17 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgE
         if let Some(name) = tok.strip_prefix("--") {
             if SWITCHES.contains(&name) {
                 flags.insert(name.to_string(), "true".to_string());
+            } else if !VALUE_FLAGS.contains(&name) {
+                return Err(ArgError::UnknownFlag(name.to_string()));
             } else {
                 match it.next() {
                     Some(v) if !v.starts_with("--") => {
                         flags.insert(name.to_string(), v);
                     }
-                    _ => return Err(ArgError::UnknownFlag(name.to_string())),
+                    // A trailing `--flag`, or one followed by another
+                    // `--flag`, is a present-but-valueless flag — report
+                    // it as such, not as an unknown flag.
+                    _ => return Err(ArgError::MissingValue(name.to_string())),
                 }
             }
         } else {
@@ -149,9 +179,12 @@ mod tests {
     #[test]
     fn flag_without_value_rejected() {
         let e = parse(argv("run fig3 --threads")).unwrap_err();
-        assert_eq!(e, ArgError::UnknownFlag("threads".into()));
+        assert_eq!(e, ArgError::MissingValue("threads".into()));
         let e = parse(argv("run fig3 --threads --csv")).unwrap_err();
-        assert_eq!(e, ArgError::UnknownFlag("threads".into()));
+        assert_eq!(e, ArgError::MissingValue("threads".into()));
+        let msg = format!("{e}");
+        assert!(msg.contains("--threads"), "{msg}");
+        assert!(msg.contains("requires a value"), "{msg}");
     }
 
     #[test]
@@ -166,12 +199,21 @@ mod tests {
 
     #[test]
     fn on_off_flags() {
-        let p = parse(argv("run x --iommu off --ddio on")).unwrap();
+        let p = parse(argv("run x --iommu off")).unwrap();
         assert!(!p.get_on_off("iommu", true).unwrap());
-        assert!(p.get_on_off("ddio", false).unwrap());
+        let p = parse(argv("run x --iommu on")).unwrap();
+        assert!(p.get_on_off("iommu", false).unwrap());
         assert!(p.get_on_off("absent", true).unwrap());
         let bad = parse(argv("run x --iommu maybe")).unwrap();
         assert!(bad.get_on_off("iommu", true).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected_not_ignored() {
+        let e = parse(argv("run fig3 --thread 14")).unwrap_err();
+        assert_eq!(e, ArgError::UnknownFlag("thread".into()));
+        let msg = format!("{e}");
+        assert!(msg.contains("unknown flag --thread"), "{msg}");
     }
 
     #[test]

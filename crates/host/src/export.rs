@@ -99,6 +99,11 @@ pub fn metrics_json(
         w.key("events").int(p.events);
         w.key("wall_nanos").int(p.wall_nanos);
         w.key("events_per_sec").num(p.events_per_sec());
+        // Batch statistics confirm slot-drain dispatch is engaging:
+        // zero batches means the engine ran per-event.
+        w.key("batches").int(p.batches);
+        w.key("mean_batch").num(p.mean_batch());
+        w.key("max_batch").int(p.max_batch);
         w.end_obj();
     }
     w.end_obj();
@@ -152,12 +157,15 @@ mod tests {
             Some(DispatchProfile {
                 events: 100,
                 wall_nanos: 50,
+                batches: 40,
+                max_batch: 7,
             }),
         );
         let v = json::parse(&doc).unwrap();
-        assert_eq!(
-            v.get("engine").unwrap().get("events").unwrap().as_f64(),
-            Some(100.0)
-        );
+        let engine = v.get("engine").unwrap();
+        assert_eq!(engine.get("events").unwrap().as_f64(), Some(100.0));
+        assert_eq!(engine.get("batches").unwrap().as_f64(), Some(40.0));
+        assert_eq!(engine.get("mean_batch").unwrap().as_f64(), Some(2.5));
+        assert_eq!(engine.get("max_batch").unwrap().as_f64(), Some(7.0));
     }
 }

@@ -82,7 +82,7 @@ pub type DmaRef = SlabRef<DmaJob>;
 /// slabs on the testbed and events reference them by 8-byte handles, so
 /// the event queue's node arena shuttles at most 24 bytes per event
 /// (vs. ~128 when payloads rode in the events by value).
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// A sender flow attempts to transmit.
     TrySend(u32),
@@ -153,6 +153,24 @@ pub struct Testbed {
     pools: Vec<RxBufferPool>,
     core_free_at: Vec<SimTime>,
     ring_cursor: Vec<[u64; 3]>,
+    /// Hot-window page counts per control structure (ring, CQ, ACK pool) —
+    /// run constants hoisted out of the per-packet ring-offset computation.
+    ring_pages: [u64; 3],
+    /// Per-packet receiver-core cost (plus strict-mode invalidation work):
+    /// a run constant precomputed at build.
+    per_pkt_cost: SimDuration,
+    /// Cached per-walk-access latency (ns); valid while `cached_mem_epoch`
+    /// matches the memory system's demand epoch.
+    cached_walk_ns: f64,
+    /// Cached DDIO commit latency term (ns); same epoch key.
+    cached_commit_ns: f64,
+    /// Cached descriptor-read round-trip (ns); same epoch key.
+    cached_read_rt_ns: u64,
+    /// Memory-system epoch the cached latency terms were derived at.
+    cached_mem_epoch: u64,
+    /// Scratch for batched NIC arrivals (taken/restored per run; never
+    /// reallocated on the steady-state path).
+    nic_run_scratch: Vec<(PacketRef, u32)>,
     // --- demand window ---
     window_payload: u64,
     window_walks: u64,
@@ -377,8 +395,27 @@ impl Testbed {
         let fault_rng = SimRng::new(stream_seed(cfg.seed ^ cfg.faults.seed, 0xFA017));
         let last_nic_avail = cfg.memsys.achievable_bytes_per_sec();
 
+        // Hot-window page counts and the per-packet CPU cost are run
+        // constants; hoist them out of the per-packet handlers.
+        let ring_bytes = cfg.nic.ring_entries as u64 * cfg.nic.desc_bytes;
+        let cq_bytes = cfg.nic.ring_entries as u64 * cfg.nic.cqe_bytes;
+        let ack_pool_bytes = cfg.ack_pool_pages.max(1) as u64 * 4096;
+        let ring_pages = [
+            (ring_bytes / 4096)
+                .max(1)
+                .min(cfg.ring_hot_pages.max(1) as u64),
+            (cq_bytes / 4096).max(1).min(cfg.cq_hot_pages.max(1) as u64),
+            (ack_pool_bytes / 4096)
+                .max(1)
+                .min(cfg.ack_pool_pages.max(1) as u64),
+        ];
+        let mut per_pkt_cost = cfg.core_pkt_cost;
+        if cfg.strict_iommu {
+            per_pkt_cost += cfg.invalidation_cost;
+        }
+
         let _ = &mut rng;
-        Testbed {
+        let mut tb = Testbed {
             rng,
             flows,
             flow_ids,
@@ -400,6 +437,13 @@ impl Testbed {
             pools,
             core_free_at: vec![SimTime::ZERO; threads as usize],
             ring_cursor: vec![[0; 3]; threads as usize],
+            ring_pages,
+            per_pkt_cost,
+            cached_walk_ns: 0.0,
+            cached_commit_ns: 0.0,
+            cached_read_rt_ns: 0,
+            cached_mem_epoch: u64::MAX,
+            nic_run_scratch: Vec::with_capacity(1024),
             window_payload: 0,
             window_walks: 0,
             last_tick: SimTime::ZERO,
@@ -430,7 +474,9 @@ impl Testbed {
             last_nic_avail,
             last_delivered_bytes: 0,
             cfg,
-        }
+        };
+        tb.refresh_latency_cache();
+        tb
     }
 
     /// Install a trace configuration (tracer + timeline recorder). The
@@ -549,6 +595,26 @@ impl Testbed {
         full.min(base * self.cfg.walk_latency_cap_factor) * self.cfg.walk_access_penalty
     }
 
+    /// Re-derive the cached per-DMA latency terms. Each term is the exact
+    /// f64 expression the launch path used to evaluate per packet, and its
+    /// inputs change only at memory ticks (demand + DDIO-leak refresh) or
+    /// agent registration — so caching them keyed on the memory system's
+    /// demand epoch (plus an explicit refresh at the tick, which also
+    /// covers a leak-only change) is bit-identical to recomputing.
+    fn refresh_latency_cache(&mut self) {
+        self.cached_walk_ns = self.walk_access_latency_ns();
+        self.cached_commit_ns = self.ddio_leak * self.mem.access_latency_ns()
+            + (1.0 - self.ddio_leak) * self.cfg.llc_latency_ns;
+        self.cached_read_rt_ns = hostcc_pcie::read_round_trip_ns(
+            &self.cfg.pcie,
+            &self.cfg.read_channel,
+            self.cfg.nic.desc_bytes,
+            250.0,
+            self.mem.access_latency_ns(),
+        ) as u64;
+        self.cached_mem_epoch = self.mem.demand_epoch();
+    }
+
     /// Pick the control-structure page a per-packet ring access touches.
     ///
     /// Each ring keeps a hot window of pages that per-packet accesses
@@ -556,16 +622,14 @@ impl Testbed {
     /// completion retirement). Cyclic reuse is LRU's worst case: below
     /// IOTLB capacity it is free, past capacity it thrashes — which is
     /// what produces the sharp Fig. 3 knee.
-    fn ring_page_offset(&mut self, thread: usize, which: usize, struct_bytes: u64) -> u64 {
-        let hot = match which {
-            0 => self.cfg.ring_hot_pages,
-            1 => self.cfg.cq_hot_pages,
-            _ => self.cfg.ack_pool_pages,
-        };
-        let pages = (struct_bytes / 4096).max(1).min(hot.max(1) as u64);
+    fn ring_page_offset(&mut self, thread: usize, which: usize) -> u64 {
+        let pages = self.ring_pages[which];
         let c = self.ring_cursor[thread][which];
-        self.ring_cursor[thread][which] = c + 1;
-        (c % pages) * 4096
+        // Wrapping cursor: `c` stays in `[0, pages)`, so the offset
+        // sequence is identical to `(count % pages) * 4096` without the
+        // per-packet hardware division.
+        self.ring_cursor[thread][which] = if c + 1 == pages { 0 } else { c + 1 };
+        c * 4096
     }
 
     // ---- event handlers ----
@@ -675,12 +739,78 @@ impl Testbed {
         }
     }
 
+    /// Batched NIC arrival: admit a consecutive same-timestamp run of
+    /// `AtNic` events in one buffer pass. Exactly equivalent to dispatching
+    /// them one by one — admissions, drops, counters and the drop-trace
+    /// sequence all follow the run's FIFO order, and the single coalesced
+    /// `DmaLaunch` kick lands where the scalar path's first (coalesced)
+    /// kick would.
+    fn handle_at_nic_run<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        run: &[Event],
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        if self.fault_link_down {
+            for ev in run {
+                let Event::AtNic(pkt) = *ev else {
+                    unreachable!()
+                };
+                self.store.free(pkt);
+                self.faults.counters.link_dropped_packets += 1;
+                if self.metrics.armed {
+                    self.metrics.drops_fabric += 1;
+                }
+            }
+            return;
+        }
+        let mut arrivals = std::mem::take(&mut self.nic_run_scratch);
+        arrivals.clear();
+        let mut wire_total = 0u64;
+        for ev in run {
+            let Event::AtNic(pkt) = *ev else {
+                unreachable!()
+            };
+            let wire_bytes = self.store.get(pkt).wire_bytes;
+            wire_total += wire_bytes as u64;
+            arrivals.push((pkt, wire_bytes));
+        }
+        if self.metrics.armed {
+            self.metrics.nic_arrival_wire_bytes += wire_total;
+        }
+        let mut dropped = 0u64;
+        let store = &mut self.store;
+        let stats = &mut self.nic.stats;
+        let tracer = &mut self.tracer;
+        let admitted = self.nic.input.enqueue_run(now, &arrivals, |pkt| {
+            store.free(pkt);
+            stats.drops_buffer_full += 1;
+            dropped += 1;
+            if tracer.is_enabled() {
+                tracer.record(TraceEvent::instant(
+                    now.as_nanos(),
+                    Stage::NicDropBufferFull,
+                ));
+            }
+        });
+        if dropped > 0 && self.metrics.armed {
+            self.metrics.drops_buffer_full += dropped;
+        }
+        if admitted > 0 {
+            self.kick_dma_launch(sched);
+        }
+        self.nic_run_scratch = arrivals;
+    }
+
     fn handle_dma_launch<Q: Queue<Event>>(
         &mut self,
         now: SimTime,
         sched: &mut Scheduler<Event, Q>,
     ) {
         self.dma_launch_pending = false;
+        if self.cached_mem_epoch != self.mem.demand_epoch() {
+            self.refresh_latency_cache();
+        }
         loop {
             if self.nic.input.is_empty() {
                 return;
@@ -722,26 +852,23 @@ impl Testbed {
             // accesses land on batched/prefetched (effectively random)
             // pages of their structures.
             let ring_bytes = self.cfg.nic.ring_entries as u64 * self.cfg.nic.desc_bytes;
-            let cq_bytes = self.cfg.nic.ring_entries as u64 * self.cfg.nic.cqe_bytes;
             let mut cost = hostcc_iommu::TranslationCost::default();
-            let desc_off = self.ring_page_offset(thread, 0, ring_bytes);
+            let desc_off = self.ring_page_offset(thread, 0);
             let desc_iova = self.nic.queues[thread]
                 .ring
                 .descriptor_iova(0)
                 .add(desc_off);
             cost.add(
                 self.iommu
-                    .translate_range(desc_iova, self.cfg.nic.desc_bytes)
-                    .expect("descriptor mapped")
-                    .cost,
+                    .translate_range_cost(desc_iova, self.cfg.nic.desc_bytes, PageSize::Size4K)
+                    .expect("descriptor mapped"),
             );
             cost.add(
                 self.iommu
-                    .translate_range(desc.buffer, payload)
-                    .expect("buffer mapped")
-                    .cost,
+                    .translate_range_cost(desc.buffer, payload, self.cfg.data_page)
+                    .expect("buffer mapped"),
             );
-            let cq_off = self.ring_page_offset(thread, 1, cq_bytes);
+            let cq_off = self.ring_page_offset(thread, 1);
             self.nic.queues[thread].cq.push();
             let cq_base = self.nic.queues[thread]
                 .ring
@@ -749,9 +876,12 @@ impl Testbed {
                 .add(ring_bytes);
             cost.add(
                 self.iommu
-                    .translate_range(cq_base.add(cq_off), self.cfg.nic.cqe_bytes)
-                    .expect("cq mapped")
-                    .cost,
+                    .translate_range_cost(
+                        cq_base.add(cq_off),
+                        self.cfg.nic.cqe_bytes,
+                        PageSize::Size4K,
+                    )
+                    .expect("cq mapped"),
             );
 
             if self.metrics.armed {
@@ -772,11 +902,10 @@ impl Testbed {
             // DRAM bus; the rest coalesces in the LLC slice.
             let leaked_bytes = (payload as f64 * self.ddio_leak) as u64;
             let mem_done = self.mem_pipe.transmit(pcie_done, leaked_bytes);
-            let walk_ns = cost.walk_memory_accesses as f64 * self.walk_access_latency_ns();
+            let walk_ns = cost.walk_memory_accesses as f64 * self.cached_walk_ns;
             // Commit latency: DRAM round-trip for leaked lines, LLC hit
             // for absorbed ones.
-            let commit_ns = self.ddio_leak * self.mem.access_latency_ns()
-                + (1.0 - self.ddio_leak) * self.cfg.llc_latency_ns;
+            let commit_ns = self.cached_commit_ns;
             // Accumulate the completion delay as three integer-ns stage
             // components (the sum is identical to adding each term to
             // `done` directly, so the decomposition is exact and free).
@@ -792,14 +921,7 @@ impl Testbed {
             if self.cfg.model_dma_read_latency {
                 // No descriptor prefetch: the descriptor-fetch DMA read's
                 // full PCIe round trip gates the payload write.
-                let rt = hostcc_pcie::read_round_trip_ns(
-                    &self.cfg.pcie,
-                    &self.cfg.read_channel,
-                    self.cfg.nic.desc_bytes,
-                    250.0,
-                    self.mem.access_latency_ns(),
-                );
-                pcie_ns += rt as u64;
+                pcie_ns += self.cached_read_rt_ns;
             }
             if self.fault_nak_rate > 0.0 {
                 // PCIe link-layer error window: the DLLP layer NAKs this
@@ -835,6 +957,18 @@ impl Testbed {
     ) {
         self.credits.release_write(self.pkt_credits);
         self.kick_dma_launch(sched);
+        self.dma_complete_body(now, job, sched);
+    }
+
+    /// The credit-independent tail of a DMA completion: hand the packet to
+    /// its receiver core. The batched path releases a whole run's credits
+    /// in one update and then replays the bodies in FIFO order.
+    fn dma_complete_body<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        job: DmaRef,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         let (pkt, thread) = {
             let j = self.dma.get(job);
             (j.pkt, j.thread as usize)
@@ -843,13 +977,9 @@ impl Testbed {
 
         // Step 7: a dedicated receiver core processes the packet (strict
         // IOMMU mode adds the unmap/invalidate work to the per-packet
-        // cost).
+        // cost, precomputed into `per_pkt_cost`).
         let start = now.max(self.core_free_at[thread]);
-        let mut per_pkt = self.cfg.core_pkt_cost;
-        if self.cfg.strict_iommu {
-            per_pkt += self.cfg.invalidation_cost;
-        }
-        let done = start + per_pkt;
+        let done = start + self.per_pkt_cost;
         self.core_free_at[thread] = done;
         sched.at(done, Event::CpuDone(job));
     }
@@ -970,15 +1100,15 @@ impl Testbed {
         // ACK: the NIC DMA-reads the ACK from the thread's TX/ACK pool,
         // which cycles through its pages (one more IOTLB access per packet
         // over a multi-page working set).
-        let ack_off = self.ring_page_offset(t, 2, self.cfg.ack_pool_pages.max(1) as u64 * 4096);
+        let ack_off = self.ring_page_offset(t, 2);
         let ack_cost = self
             .iommu
-            .translate_range(
+            .translate_range_cost(
                 self.nic.queues[t].ack_buffer.add(ack_off),
                 self.cfg.wire.ack_wire_bytes as u64,
+                PageSize::Size4K,
             )
-            .expect("ack buffer mapped")
-            .cost;
+            .expect("ack buffer mapped");
         if self.metrics.armed {
             self.metrics.iotlb_lookups += ack_cost.iotlb_lookups as u64;
             self.metrics.iotlb_misses += ack_cost.iotlb_misses as u64;
@@ -1211,6 +1341,10 @@ impl Testbed {
                 nic_avail * self.fault_throttle
             };
             self.mem_pipe.set_rate(now, granted);
+            // The latency-model inputs (demands, DDIO leak) just changed;
+            // re-derive the cached per-DMA terms. Explicit because a
+            // leak-only change does not bump the demand epoch.
+            self.refresh_latency_cache();
 
             if self.metrics.armed {
                 // Report *measured* traffic (Fig. 6 top panel), not the
@@ -1296,6 +1430,67 @@ impl World for Testbed {
             Event::Fault(code) => self.handle_fault(now, code, sched),
         }
     }
+
+    /// Batched slot dispatch: the engine hands over every event of one
+    /// timestamp in wheel FIFO order. Consecutive runs of the two
+    /// highest-frequency event kinds take bulk paths — NIC arrivals go
+    /// through one buffer pass, DMA completions coalesce their credit
+    /// returns — and everything else falls back to the scalar handler in
+    /// place. Both bulk paths are exactly order-equivalent to per-event
+    /// dispatch (see the goldens in `tests/queue_equivalence.rs`).
+    fn handle_batch<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        events: &mut Vec<Event>,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        let mut i = 0;
+        while i < events.len() {
+            match events[i] {
+                Event::AtNic(pkt) => {
+                    let start = i;
+                    while i < events.len() && matches!(events[i], Event::AtNic(_)) {
+                        i += 1;
+                    }
+                    // Most slots hold one event (1 ns resolution); skip the
+                    // run machinery unless there is an actual run.
+                    if i - start == 1 {
+                        self.handle_at_nic(now, pkt, sched);
+                    } else {
+                        self.handle_at_nic_run(now, &events[start..i], sched);
+                    }
+                }
+                Event::DmaComplete(job) => {
+                    let start = i;
+                    while i < events.len() && matches!(events[i], Event::DmaComplete(_)) {
+                        i += 1;
+                    }
+                    if i - start == 1 {
+                        self.handle_dma_complete(now, job, sched);
+                        continue;
+                    }
+                    // One bulk credit return + one coalesced kick for the
+                    // whole run (the scalar path's per-event kicks after
+                    // the first are no-ops anyway), then the per-packet
+                    // bodies in FIFO order.
+                    self.credits
+                        .release_writes(self.pkt_credits, (i - start) as u32);
+                    self.kick_dma_launch(sched);
+                    for ev in &events[start..i] {
+                        let Event::DmaComplete(job) = *ev else {
+                            unreachable!()
+                        };
+                        self.dma_complete_body(now, job, sched);
+                    }
+                }
+                ev => {
+                    i += 1;
+                    self.handle(now, ev, sched);
+                }
+            }
+        }
+        events.clear();
+    }
 }
 
 /// A ready-to-run simulation: the engine plus its started world.
@@ -1358,6 +1553,13 @@ impl<Q: Queue<Event>> Simulation<Q> {
     /// installing any tracing. Profiling never perturbs the simulation.
     pub fn enable_profiling(&mut self) {
         self.engine.enable_profiling();
+    }
+
+    /// Toggle batched slot-drain dispatch (on by default). Per-event and
+    /// batched dispatch are bit-for-bit equivalent; the toggle exists for
+    /// the equivalence tests and the benchmark's per-event baseline.
+    pub fn set_batched(&mut self, on: bool) {
+        self.engine.batched = on;
     }
 
     /// Direct access to the world (inspection in tests/harnesses).

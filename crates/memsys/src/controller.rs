@@ -45,6 +45,10 @@ pub struct MemorySystem {
     /// ticks, but the latency is charged on every DMA in between — caching
     /// skips the sigmoid (`exp`) on the unchanged-demand fast path.
     latency_cache: Option<f64>,
+    /// Bumped whenever an input of the latency model changes (agent set or
+    /// any demand). Callers that derive values from `access_latency_ns`
+    /// can cache them keyed on this epoch instead of re-deriving per DMA.
+    epoch: u64,
 }
 
 impl MemorySystem {
@@ -62,6 +66,7 @@ impl MemorySystem {
             agents: Vec::new(),
             dirty: false,
             latency_cache: None,
+            epoch: 0,
         }
     }
 
@@ -80,6 +85,7 @@ impl MemorySystem {
         });
         self.dirty = true;
         self.latency_cache = None;
+        self.epoch += 1;
         AgentId(self.agents.len() - 1)
     }
 
@@ -91,7 +97,15 @@ impl MemorySystem {
             a.demand = bytes_per_sec.max(0.0);
             self.dirty = true;
             self.latency_cache = None;
+            self.epoch += 1;
         }
+    }
+
+    /// Monotone counter of latency-model input changes. Two calls to
+    /// `access_latency_ns` bracketed by equal epochs return the same
+    /// value, so derived quantities cached against this epoch stay valid.
+    pub fn demand_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Current offered demand of an agent.
@@ -303,6 +317,23 @@ mod tests {
         m.set_demand(b, 5e9);
         assert_eq!(m.allocation(a), 0.0);
         assert!((m.allocation(b) - 5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn demand_epoch_tracks_latency_inputs() {
+        let mut m = sys();
+        let e0 = m.demand_epoch();
+        let a = m.register_agent("a", AgentClass::Cpu);
+        assert!(m.demand_epoch() > e0, "registration changes the model");
+        let e1 = m.demand_epoch();
+        m.set_demand(a, 5e9);
+        assert!(m.demand_epoch() > e1, "new demand changes the model");
+        let e2 = m.demand_epoch();
+        m.set_demand(a, 5e9);
+        assert_eq!(m.demand_epoch(), e2, "unchanged demand keeps the epoch");
+        let before = m.access_latency_ns();
+        assert_eq!(m.demand_epoch(), e2, "reading latency keeps the epoch");
+        assert_eq!(m.access_latency_ns(), before);
     }
 
     #[test]

@@ -106,6 +106,32 @@ pub trait World {
         event: Self::Event,
         sched: &mut Scheduler<Self::Event, Q>,
     );
+
+    /// Handle every event of one timestamp slot, in FIFO order, draining
+    /// `events` completely. The engine's batched dispatch loop calls this
+    /// once per slot with the reusable batch buffer; the default simply
+    /// replays the events one by one through [`handle`](World::handle),
+    /// so batching is behaviour-preserving for any world. Worlds override
+    /// it to amortise per-event costs across a batch (grouping runs of
+    /// one event kind, hoisting invariant lookups) — but any override
+    /// must produce the same side effects, in the same order, as the
+    /// default.
+    ///
+    /// Events scheduled *during* the batch at the same timestamp are not
+    /// part of `events`; the engine picks them up in the next slot drain,
+    /// which preserves exactly the order per-event dispatch would have
+    /// produced (they sit behind the current batch in FIFO order either
+    /// way).
+    fn handle_batch<Q: Queue<Self::Event>>(
+        &mut self,
+        now: SimTime,
+        events: &mut Vec<Self::Event>,
+        sched: &mut Scheduler<Self::Event, Q>,
+    ) {
+        for ev in events.drain(..) {
+            self.handle(now, ev, sched);
+        }
+    }
 }
 
 /// Outcome of driving a simulation.
@@ -146,6 +172,11 @@ pub struct DispatchProfile {
     pub events: u64,
     /// Wall-clock nanoseconds spent inside `run_until`.
     pub wall_nanos: u64,
+    /// Slot batches dispatched through `handle_batch` (0 under per-event
+    /// dispatch — the observability signal that batching is engaging).
+    pub batches: u64,
+    /// Largest single batch handed to `handle_batch`.
+    pub max_batch: u64,
 }
 
 impl DispatchProfile {
@@ -155,6 +186,14 @@ impl DispatchProfile {
             return 0.0;
         }
         self.events as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// Mean events per batch (0 when no batches were dispatched).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.events as f64 / self.batches as f64
     }
 }
 
@@ -171,8 +210,17 @@ pub struct Engine<W: World, Q: Queue<W::Event> = EventQueue<<W as World>::Event>
     /// limit). Same-time bursts are normal (FIFO fan-out), so set this
     /// well above any legitimate burst — the harness uses one million.
     pub stall_limit: Option<u64>,
+    /// Dispatch mode: `true` (the default) drains whole timestamp slots
+    /// through [`World::handle_batch`]; `false` pops one event at a time
+    /// through [`World::handle`]. Both produce bit-identical simulations;
+    /// the flag exists so equivalence tests and benchmarks can compare.
+    pub batched: bool,
     /// Dispatch profiling accumulator (`None` = off, the default).
     profile: Option<DispatchProfile>,
+    /// Reusable slot-drain buffer for batched dispatch. Grows to the
+    /// largest batch seen and is never shrunk, so steady state allocates
+    /// nothing.
+    batch: Vec<W::Event>,
 }
 
 impl<W: World> Engine<W> {
@@ -190,7 +238,9 @@ impl<W: World, Q: Queue<W::Event>> Engine<W, Q> {
             sched: Scheduler::with_queue(),
             event_budget: None,
             stall_limit: None,
+            batched: true,
             profile: None,
+            batch: Vec::with_capacity(256),
         }
     }
 
@@ -232,6 +282,93 @@ impl<W: World, Q: Queue<W::Event>> Engine<W, Q> {
     }
 
     fn run_until_inner(&mut self, deadline: SimTime) -> RunOutcome {
+        // An event budget needs the exact per-event stop point, so it
+        // always takes the one-at-a-time path.
+        if self.batched && self.event_budget.is_none() {
+            self.run_batched(deadline)
+        } else {
+            self.run_per_event(deadline)
+        }
+    }
+
+    /// Batched dispatch: drain one whole timestamp slot per iteration and
+    /// hand it to [`World::handle_batch`]. Clock, watchdog and outcome
+    /// semantics match [`run_per_event`](Self::run_per_event) exactly;
+    /// only the grouping of `handle` work differs, and slot-FIFO order
+    /// makes that grouping invisible to the world (see `handle_batch`).
+    fn run_batched(&mut self, deadline: SimTime) -> RunOutcome {
+        let mut same_time_run = 0u64;
+        let mut batches = 0u64;
+        let mut max_batch = 0u64;
+        let out = loop {
+            let Some(t) = self.sched.queue.peek_time() else {
+                let at = self.sched.now;
+                if deadline != SimTime::MAX {
+                    self.sched.now = deadline;
+                }
+                break RunOutcome::QueueEmpty { at };
+            };
+            if t > deadline {
+                self.sched.now = deadline;
+                break RunOutcome::DeadlineReached;
+            }
+            // Pop the first event exactly like the per-event loop; only
+            // when more events share its timestamp does the slot-drain
+            // buffer come into play. Most slots hold a single event (1 ns
+            // resolution), so the singleton path must cost nothing extra.
+            let (raw_t, ev) = self.sched.queue.pop().expect("peeked");
+            let t = raw_t.max(self.sched.now);
+            if self.sched.queue.peek_time() != Some(raw_t) {
+                batches += 1;
+                max_batch = max_batch.max(1);
+                if let Some(limit) = self.stall_limit {
+                    if t > self.sched.now {
+                        same_time_run = 0;
+                    }
+                    same_time_run += 1;
+                    if same_time_run > limit {
+                        break RunOutcome::Stalled { at: t };
+                    }
+                }
+                self.sched.now = t;
+                self.world.handle(t, ev, &mut self.sched);
+                continue;
+            }
+            debug_assert!(self.batch.is_empty(), "batch buffer drained last slot");
+            self.batch.push(ev);
+            let slot_t = self
+                .sched
+                .queue
+                .pop_slot(&mut self.batch)
+                .expect("peeked same time");
+            debug_assert_eq!(slot_t, raw_t, "slot drain stayed on the timestamp");
+            let n = self.batch.len() as u64;
+            batches += 1;
+            max_batch = max_batch.max(n);
+            if let Some(limit) = self.stall_limit {
+                if t > self.sched.now {
+                    same_time_run = 0;
+                }
+                same_time_run += n;
+                if same_time_run > limit {
+                    // Like the per-event path, the offending events are
+                    // popped but never handled.
+                    self.batch.clear();
+                    break RunOutcome::Stalled { at: t };
+                }
+            }
+            self.sched.now = t;
+            self.world.handle_batch(t, &mut self.batch, &mut self.sched);
+            debug_assert!(self.batch.is_empty(), "handle_batch must drain its input");
+        };
+        if let Some(p) = self.profile.as_mut() {
+            p.batches += batches;
+            p.max_batch = p.max_batch.max(max_batch);
+        }
+        out
+    }
+
+    fn run_per_event(&mut self, deadline: SimTime) -> RunOutcome {
         let mut budget = self.event_budget;
         // Progress watchdog: count consecutive dispatches at one
         // timestamp; any clock advance resets the count.
@@ -533,6 +670,124 @@ mod tests {
         eng.run_to_completion();
         assert_eq!(eng.world.log, [0, 1, 2]);
         assert_eq!(eng.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn per_event_dispatch_matches_batched() {
+        // The same world driven with batching on (default) and off must
+        // produce identical logs, clocks and dispatch counts.
+        let drive = |batched: bool| {
+            let mut eng = Engine::new(PingPong {
+                remaining: 500,
+                log: vec![],
+            });
+            eng.batched = batched;
+            eng.sched.immediately(Ev::Ping);
+            let out = eng.run_to_completion();
+            assert!(matches!(out, RunOutcome::QueueEmpty { .. }));
+            let (now, total) = (eng.now(), eng.sched.dispatched_total());
+            (eng.world.log, now, total)
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn batched_dispatch_keeps_fifo_across_nested_fanout() {
+        // Events scheduled during a batch at the same timestamp must run
+        // after the whole batch, in scheduling order — exactly as they
+        // would under per-event dispatch.
+        struct Nest {
+            log: Vec<u32>,
+        }
+        impl World for Nest {
+            type Event = u32;
+            fn handle<Q: Queue<u32>>(
+                &mut self,
+                _now: SimTime,
+                ev: u32,
+                sched: &mut Scheduler<u32, Q>,
+            ) {
+                self.log.push(ev);
+                if ev < 10 {
+                    sched.immediately(ev * 10 + 1);
+                    sched.immediately(ev * 10 + 2);
+                }
+            }
+        }
+        let drive = |batched: bool| {
+            let mut eng = Engine::new(Nest { log: vec![] });
+            eng.batched = batched;
+            eng.sched.immediately(1);
+            eng.sched.immediately(2);
+            eng.run_to_completion();
+            eng.world.log
+        };
+        let batched = drive(true);
+        assert_eq!(batched, drive(false));
+        assert_eq!(batched, [1, 2, 11, 12, 21, 22]);
+    }
+
+    #[test]
+    fn stall_watchdog_identical_under_batching() {
+        struct Spinner;
+        impl World for Spinner {
+            type Event = ();
+            fn handle<Q: Queue<()>>(&mut self, _: SimTime, _: (), sched: &mut Scheduler<(), Q>) {
+                sched.immediately(());
+            }
+        }
+        for batched in [true, false] {
+            let mut eng = Engine::new(Spinner);
+            eng.batched = batched;
+            eng.stall_limit = Some(1000);
+            eng.sched.at(SimTime::from_nanos(42), ());
+            let out = eng.run_to_completion();
+            assert_eq!(
+                out,
+                RunOutcome::Stalled {
+                    at: SimTime::from_nanos(42)
+                },
+                "batched={batched}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_reports_batch_statistics() {
+        // Fanout produces one 1-event slot and one 2-event slot.
+        struct Fanout;
+        impl World for Fanout {
+            type Event = u32;
+            fn handle<Q: Queue<u32>>(
+                &mut self,
+                _now: SimTime,
+                ev: u32,
+                sched: &mut Scheduler<u32, Q>,
+            ) {
+                if ev == 0 {
+                    sched.immediately(1);
+                    sched.immediately(2);
+                }
+            }
+        }
+        let mut eng = Engine::new(Fanout);
+        eng.enable_profiling();
+        eng.sched.immediately(0);
+        eng.run_to_completion();
+        let p = eng.profile().expect("profiling on");
+        assert_eq!(p.events, 3);
+        assert_eq!(p.batches, 2);
+        assert_eq!(p.max_batch, 2);
+        assert!((p.mean_batch() - 1.5).abs() < 1e-12);
+        // Per-event dispatch reports zero batches.
+        let mut eng = Engine::new(Fanout);
+        eng.batched = false;
+        eng.enable_profiling();
+        eng.sched.immediately(0);
+        eng.run_to_completion();
+        let p = eng.profile().expect("profiling on");
+        assert_eq!((p.events, p.batches, p.max_batch), (3, 0, 0));
+        assert_eq!(p.mean_batch(), 0.0);
     }
 
     #[test]

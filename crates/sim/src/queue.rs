@@ -32,6 +32,26 @@ pub trait Queue<E> {
     /// Remove and return the earliest event, if any.
     fn pop(&mut self) -> Option<(SimTime, E)>;
 
+    /// Drain *every* event sharing the earliest timestamp into `buf`
+    /// (appended in exactly the order repeated [`pop`](Queue::pop) calls
+    /// would return them) and return that timestamp. `buf` is reused by
+    /// the caller across calls — implementations must only append, never
+    /// allocate fresh storage.
+    ///
+    /// The default just loops `pop` while the next timestamp matches;
+    /// implementations with a cheaper bulk path (the timing wheel's
+    /// slot-FIFO drain list) override it.
+    fn pop_slot(&mut self, buf: &mut Vec<E>) -> Option<SimTime> {
+        let t = self.peek_time()?;
+        while let Some((_, ev)) = self.pop() {
+            buf.push(ev);
+            if self.peek_time() != Some(t) {
+                break;
+            }
+        }
+        Some(t)
+    }
+
     /// Timestamp of the earliest pending event.
     fn peek_time(&self) -> Option<SimTime>;
 
@@ -244,6 +264,33 @@ mod tests {
         peek_time_matches_next_pop(w);
     }
 
+    fn pop_slot_drains_exactly_one_timestamp<Q: Queue<i32>>(mut q: Q) {
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_slot(&mut buf), None);
+        let t5 = SimTime::from_nanos(5);
+        let t9 = SimTime::from_nanos(9);
+        q.push(t9, 100);
+        for i in 0..10 {
+            q.push(t5, i);
+        }
+        assert_eq!(q.pop_slot(&mut buf), Some(t5));
+        assert_eq!(buf, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.peek_time(), Some(t9));
+        // The buffer is append-only: prior contents survive.
+        assert_eq!(q.pop_slot(&mut buf), Some(t9));
+        assert_eq!(buf.len(), 11);
+        assert_eq!(*buf.last().unwrap(), 100);
+        assert!(q.is_empty());
+        assert_eq!(q.dispatched_total(), 11);
+    }
+
+    #[test]
+    fn both_impls_pop_slot_one_timestamp() {
+        let (h, w) = impls();
+        pop_slot_drains_exactly_one_timestamp(h);
+        pop_slot_drains_exactly_one_timestamp(w);
+    }
+
     /// Randomised differential test: any interleaving of pushes and pops
     /// must produce identical sequences from both implementations.
     #[test]
@@ -284,5 +331,58 @@ mod tests {
         assert_eq!(wheel.pop(), None);
         assert_eq!(heap.scheduled_total(), wheel.scheduled_total());
         assert_eq!(heap.dispatched_total(), wheel.dispatched_total());
+    }
+
+    /// Randomised differential test for the bulk path: draining the wheel
+    /// slot by slot via `pop_slot` must yield exactly the `(time, event)`
+    /// sequence that repeated `pop` calls produce, under the same mixed
+    /// near/far/tied-horizon workload as the heap/wheel test above.
+    #[test]
+    fn per_event_and_slot_drain_agree_on_random_workloads() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::new(0xBA7C_5EED);
+        let mut per_event: TimingWheel<u32> = TimingWheel::new();
+        let mut slot_drain: TimingWheel<u32> = TimingWheel::new();
+        let mut buf: Vec<u32> = Vec::new();
+        let mut now = 0u64;
+        let mut id = 0u32;
+        for _ in 0..200_000 {
+            if rng.chance(0.55) || per_event.is_empty() {
+                let delay = match rng.next_below(10) {
+                    0 => 0,
+                    1..=6 => rng.next_below(2_000),
+                    7 | 8 => rng.next_below(200_000),
+                    _ => rng.next_below(20_000_000),
+                };
+                let t = SimTime::from_nanos(now + delay);
+                per_event.push(t, id);
+                slot_drain.push(t, id);
+                id += 1;
+            } else {
+                buf.clear();
+                let t = slot_drain.pop_slot(&mut buf).expect("queue is non-empty");
+                for (i, &v) in buf.iter().enumerate() {
+                    assert_eq!(
+                        per_event.pop(),
+                        Some((t, v)),
+                        "slot drain diverged at batch index {i}"
+                    );
+                }
+                now = t.as_nanos();
+            }
+        }
+        assert_eq!(per_event.peek_time(), slot_drain.peek_time());
+        loop {
+            buf.clear();
+            let Some(t) = slot_drain.pop_slot(&mut buf) else {
+                break;
+            };
+            for &v in &buf {
+                assert_eq!(per_event.pop(), Some((t, v)));
+            }
+        }
+        assert_eq!(per_event.pop(), None);
+        assert_eq!(per_event.scheduled_total(), slot_drain.scheduled_total());
+        assert_eq!(per_event.dispatched_total(), slot_drain.dispatched_total());
     }
 }

@@ -195,6 +195,47 @@ fn chaos_scenarios_run_and_recover() {
     }
 }
 
+/// Slot-drain batching is invisible to fault injection: every registered
+/// chaos scenario produces bit-identical results with batching on (the
+/// library default) and off — same dispatched-event count, same fault
+/// counters, same recovery verdict, same exported metrics JSON. Faults
+/// mutate world state mid-slot (blackouts drop packets, storms flush the
+/// IOTLB), so this pins the batch paths to the exact per-event
+/// interleaving under the nastiest workloads we have.
+#[test]
+fn chaos_runs_are_batching_invariant() {
+    let plan = RunPlan::quick();
+    for (name, cfg) in [
+        ("chaos-replay", scenarios::chaos_replay()),
+        ("chaos-flap", scenarios::chaos_flap()),
+        ("chaos-invalidate", scenarios::chaos_invalidate()),
+    ] {
+        let mut batched = Simulation::new(cfg.clone());
+        let mb = batched
+            .try_run(plan.warmup, plan.measure)
+            .unwrap_or_else(|e| panic!("{name} (batched) must not stall: {e}"));
+        let mut per_event = Simulation::new(cfg);
+        per_event.set_batched(false);
+        let mp = per_event
+            .try_run(plan.warmup, plan.measure)
+            .unwrap_or_else(|e| panic!("{name} (per-event) must not stall: {e}"));
+        assert_eq!(
+            batched.dispatched_total(),
+            per_event.dispatched_total(),
+            "{name}: dispatched-event counts diverged"
+        );
+        let sb = mb.faults.expect("chaos scenarios carry fault plans");
+        let sp = mp.faults.expect("chaos scenarios carry fault plans");
+        assert_eq!(
+            sb, sp,
+            "{name}: fault summary (counters/recovery verdict) diverged"
+        );
+        let jb = metrics_json(&mb, &batched.world().counters, None);
+        let jp = metrics_json(&mp, &per_event.world().counters, None);
+        assert_eq!(jb, jp, "{name}: metrics JSON diverged");
+    }
+}
+
 /// Chaos runs are bit-for-bit reproducible: same seed, same plan, same
 /// metrics — faults included.
 #[test]

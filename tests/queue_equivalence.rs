@@ -105,25 +105,37 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// Pin a scenario to a golden digest captured from the by-value datapath
 /// (events carrying `Packet`/`DmaJob` directly, before the slab refactor).
 /// `golden = (dispatched, delivered, (lookups, misses, walks), fnv, len)`.
+///
+/// Runs twice — slot-drain batching on (the library default) and off —
+/// and holds both runs to the *same* digest: batched dispatch must be
+/// bit-for-bit invisible in every exported metric.
 fn assert_golden(name: &str, cfg: TestbedConfig, golden: (u64, u64, (u64, u64, u64), u64, usize)) {
     let plan = RunPlan::quick();
-    let mut sim = Simulation::new(cfg);
-    let m = sim.run(plan.warmup, plan.measure);
-    let json = metrics_json(&m, &sim.world().counters, None);
-    let (dispatched, delivered, iotlb, fnv, len) = golden;
-    assert_eq!(sim.dispatched_total(), dispatched, "{name}: dispatched");
-    assert_eq!(m.delivered_packets, delivered, "{name}: delivered");
-    assert_eq!(
-        (m.iotlb_lookups, m.iotlb_misses, m.walk_memory_accesses),
-        iotlb,
-        "{name}: iotlb"
-    );
-    assert_eq!(json.len(), len, "{name}: metrics JSON length");
-    assert_eq!(
-        fnv64(json.as_bytes()),
-        fnv,
-        "{name}: metrics JSON digest diverged from the by-value datapath"
-    );
+    for batched in [true, false] {
+        let mode = if batched { "batched" } else { "per-event" };
+        let mut sim = Simulation::new(cfg.clone());
+        sim.set_batched(batched);
+        let m = sim.run(plan.warmup, plan.measure);
+        let json = metrics_json(&m, &sim.world().counters, None);
+        let (dispatched, delivered, iotlb, fnv, len) = golden;
+        assert_eq!(
+            sim.dispatched_total(),
+            dispatched,
+            "{name} ({mode}): dispatched"
+        );
+        assert_eq!(m.delivered_packets, delivered, "{name} ({mode}): delivered");
+        assert_eq!(
+            (m.iotlb_lookups, m.iotlb_misses, m.walk_memory_accesses),
+            iotlb,
+            "{name} ({mode}): iotlb"
+        );
+        assert_eq!(json.len(), len, "{name} ({mode}): metrics JSON length");
+        assert_eq!(
+            fnv64(json.as_bytes()),
+            fnv,
+            "{name} ({mode}): metrics JSON digest diverged from the by-value datapath"
+        );
+    }
 }
 
 #[test]
@@ -196,6 +208,58 @@ fn golden_cluster_fleet_matches_by_value_datapath() {
         cfg.receiver_threads = 8 + 4 * (host as u32 % 2);
         cfg.antagonist_cores = 4 * (host as u32 % 3);
         assert_golden(&format!("fleet_{host}"), cfg, golden);
+    }
+}
+
+/// Randomised differential test at the simulation level: random scenario
+/// draws (seed, fan-in, core counts, antagonist load, IOMMU mode, read
+/// mix, recovery policy) must produce identical dispatch counts and
+/// bit-identical metrics with slot-drain batching on and off. The
+/// queue-level twin lives in `hostcc-sim`'s `queue.rs` (200k-op
+/// `pop`-vs-`pop_slot` sequence check); this covers the full datapath
+/// including the batch handlers in `world.rs`.
+#[test]
+fn random_scenarios_are_batching_invariant() {
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    let plan = RunPlan::quick();
+    let mut s = 0x5EED_CAFE_u64;
+    for draw in 0..4 {
+        let mut cfg = if lcg(&mut s).is_multiple_of(2) {
+            scenarios::with_mixed_reads(scenarios::baseline())
+        } else {
+            scenarios::baseline()
+        };
+        if lcg(&mut s).is_multiple_of(2) {
+            cfg = scenarios::with_strict_iommu(cfg);
+        }
+        cfg.seed = lcg(&mut s);
+        cfg.senders = 4 + (lcg(&mut s) % 6) as u32;
+        cfg.receiver_threads = 2 + (lcg(&mut s) % 6) as u32;
+        cfg.antagonist_cores = (lcg(&mut s) % 12) as u32;
+        cfg.flow.partial_ack_rtx = lcg(&mut s).is_multiple_of(2);
+        let name = format!("draw_{draw}");
+
+        let mut batched = Simulation::new(cfg.clone());
+        let mb = batched.run(plan.warmup, plan.measure);
+        let mut per_event = Simulation::new(cfg);
+        per_event.set_batched(false);
+        let mp = per_event.run(plan.warmup, plan.measure);
+
+        assert_eq!(
+            batched.dispatched_total(),
+            per_event.dispatched_total(),
+            "{name}: dispatched-event counts diverged"
+        );
+        let jb = metrics_json(&mb, &batched.world().counters, None);
+        let jp = metrics_json(&mp, &per_event.world().counters, None);
+        assert_eq!(jb, jp, "{name}: metrics JSON diverged");
+        assert_raw_metrics_identical(&name, &mb, &mp);
     }
 }
 
