@@ -22,7 +22,7 @@ use hostcc::experiment::RunPlan;
 use hostcc::substrate::host::Event;
 use hostcc::substrate::sim::Queue;
 use hostcc::substrate::trace::json::JsonWriter;
-use hostcc::{scenarios, Simulation, TestbedConfig};
+use hostcc::{scenarios, Simulation, TelemetryConfig, TestbedConfig};
 use hostcc_bench::{plan, quick};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -204,6 +204,54 @@ fn audit_steady_state_allocs(plan: &RunPlan) -> (u64, u64) {
     (allocs, events)
 }
 
+/// Sampler-overhead measurement: the incast workload with telemetry off
+/// vs. on (default 5 µs cadence), advanced through simulated time in
+/// interleaved chunks like `run_scenario`. Returns (off, on, samples).
+/// The per-sample cost is the wall-clock delta over the sample count —
+/// noisy on shared runners, so the throughput gate re-measures on failure
+/// rather than trusting one comparison.
+fn run_telemetry_overhead(plan: &RunPlan) -> (QueueStats, QueueStats, u64) {
+    let cfg = scenarios::fig3(12, true);
+    let mut cfg_on = cfg.clone();
+    cfg_on.telemetry = TelemetryConfig::enabled();
+    let mut off_sim = Simulation::new(cfg);
+    let mut on_sim = Simulation::new(cfg_on);
+    off_sim.enable_profiling();
+    on_sim.enable_profiling();
+    let warm_chunk = plan.warmup / WARMUP_CHUNKS;
+    for _ in 0..WARMUP_CHUNKS {
+        off_sim.advance(warm_chunk);
+        on_sim.advance(warm_chunk);
+    }
+    let measure_chunk = plan.measure / MEASURE_CHUNKS;
+    for _ in 0..MEASURE_CHUNKS {
+        off_sim.advance(measure_chunk);
+        on_sim.advance(measure_chunk);
+    }
+    let mut off = QueueStats::default();
+    let mut on = QueueStats::default();
+    absorb(&off_sim, &mut off);
+    absorb(&on_sim, &mut on);
+    (off, on, on_sim.world().telemetry.samples_taken())
+}
+
+/// Steady-state allocation audit with the telemetry sampler running: the
+/// sample path (ring push, detector update, baseline Welford) must stay
+/// allocation-free once warm, same as the dispatch loop itself.
+fn audit_telemetry_allocs(plan: &RunPlan) -> (u64, u64) {
+    let mut cfg = scenarios::fig3(12, true);
+    cfg.telemetry = TelemetryConfig::enabled();
+    let mut sim = Simulation::new(cfg);
+    sim.advance(plan.warmup);
+    sim.advance(plan.warmup);
+    let samples_before = sim.world().telemetry.samples_taken();
+    let allocs_before = allocs_now();
+    sim.advance(plan.measure);
+    let allocs = allocs_now() - allocs_before;
+    let samples = sim.world().telemetry.samples_taken() - samples_before;
+    (allocs, samples)
+}
+
 fn main() {
     let plan = plan();
 
@@ -224,6 +272,58 @@ fn main() {
         "steady-state dispatch loop allocated {ss_allocs} times over {ss_events} events"
     );
 
+    // Telemetry must obey the same discipline: zero heap allocations per
+    // sample once the rings and episode table are warm.
+    let (tel_allocs, tel_samples) = audit_telemetry_allocs(&plan);
+    println!("telemetry steady state: {tel_allocs} allocs / {tel_samples} samples");
+    assert_eq!(
+        tel_allocs, 0,
+        "telemetry sample path allocated {tel_allocs} times over {tel_samples} samples"
+    );
+
+    // Sampler overhead: telemetry-on must keep ≥ 95% of telemetry-off
+    // wall-clock speed over the same simulated span. Re-measured on
+    // failure like the batching gate — the signal is a few percent, well
+    // inside shared-runner jitter for any single comparison.
+    const OVERHEAD_FLOOR: f64 = 0.95;
+    const OVERHEAD_RETRIES: u32 = 4;
+    let (mut t_off, mut t_on, mut t_samples) = run_telemetry_overhead(&plan);
+    let speed_ratio = |off: &QueueStats, on: &QueueStats| {
+        if on.wall_nanos == 0 {
+            0.0
+        } else {
+            off.wall_nanos as f64 / on.wall_nanos as f64
+        }
+    };
+    let mut tel_best = speed_ratio(&t_off, &t_on);
+    let mut tel_retries = 0;
+    while tel_best < OVERHEAD_FLOOR
+        && tel_retries < OVERHEAD_RETRIES
+        && std::env::var_os("HOSTCC_BENCH_NO_GATE").is_none()
+    {
+        tel_retries += 1;
+        let (o, n, s) = run_telemetry_overhead(&plan);
+        let ratio = speed_ratio(&o, &n);
+        println!("  overhead retry {tel_retries}: on/off speed = {ratio:.3}");
+        if ratio > tel_best {
+            (t_off, t_on, t_samples) = (o, n, s);
+            tel_best = ratio;
+        }
+    }
+    let tel_ns_per_sample = if t_samples == 0 {
+        0.0
+    } else {
+        (t_on.wall_nanos as f64 - t_off.wall_nanos as f64) / t_samples as f64
+    };
+    println!(
+        "telemetry overhead: {t_samples} samples, on/off speed {tel_best:.3} (floor {OVERHEAD_FLOOR}), ~{tel_ns_per_sample:.0} ns/sample"
+    );
+    assert!(
+        std::env::var_os("HOSTCC_BENCH_NO_GATE").is_some() || tel_best >= OVERHEAD_FLOOR,
+        "telemetry-on run slower than {OVERHEAD_FLOOR}x telemetry-off across {} attempts (best {tel_best:.3}x)",
+        tel_retries + 1
+    );
+
     let mut w = JsonWriter::new();
     w.begin_obj();
     w.key("bench").str("engine");
@@ -235,6 +335,16 @@ fn main() {
     w.key("steady_state_allocs").int(ss_allocs);
     w.key("steady_state_events").int(ss_events);
     w.key("allocs_per_event").num(allocs_per_event);
+    w.key("telemetry").begin_obj();
+    w.key("samples_per_run").int(t_samples);
+    w.key("ns_per_sample").num(tel_ns_per_sample);
+    w.key("on_off_speed_ratio").num(tel_best);
+    w.key("speed_floor").num(OVERHEAD_FLOOR);
+    w.key("steady_state_allocs").int(tel_allocs);
+    w.key("steady_state_samples").int(tel_samples);
+    w.key("off_events_per_sec").num(t_off.events_per_sec());
+    w.key("on_events_per_sec").num(t_on.events_per_sec());
+    w.end_obj();
     w.key("scenarios").begin_arr();
 
     println!(

@@ -58,7 +58,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches (flags that take no value).
-const SWITCHES: &[&str] = &["csv", "json", "quick", "help"];
+const SWITCHES: &[&str] = &["csv", "json", "quick", "help", "flight-recorder"];
 
 /// Value-taking flags the CLI understands. Anything else is a typo the
 /// parser rejects up front — silently ignoring it would make e.g.
@@ -78,6 +78,8 @@ const VALUE_FLAGS: &[&str] = &[
     "trace-cap",
     "sample",
     "timeline",
+    "telemetry-out",
+    "telemetry-interval",
 ];
 
 /// Parse a raw argument vector (excluding argv[0]).
@@ -214,6 +216,23 @@ mod tests {
         assert_eq!(e, ArgError::UnknownFlag("thread".into()));
         let msg = format!("{e}");
         assert!(msg.contains("unknown flag --thread"), "{msg}");
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let p = parse(argv(
+            "run fig3 --telemetry-out t.jsonl --telemetry-interval 2500 --flight-recorder",
+        ))
+        .unwrap();
+        assert_eq!(p.flags.get("telemetry-out").unwrap(), "t.jsonl");
+        assert_eq!(p.flags.get("telemetry-interval").unwrap(), "2500");
+        assert!(p.switch("flight-recorder"));
+        // A value-taking telemetry flag with no value is a MissingValue,
+        // not an unknown flag.
+        let e = parse(argv("run fig3 --telemetry-out")).unwrap_err();
+        assert_eq!(e, ArgError::MissingValue("telemetry-out".into()));
+        let e = parse(argv("run fig3 --telemetry-interval --csv")).unwrap_err();
+        assert_eq!(e, ArgError::MissingValue("telemetry-interval".into()));
     }
 
     #[test]

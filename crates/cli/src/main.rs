@@ -11,10 +11,11 @@ mod args;
 mod registry;
 
 use args::{parse, ArgError, ParsedArgs};
-use hostcc::experiment::{run as run_sim, run_traced, sweep as sweep_sims, RunPlan};
+use hostcc::experiment::{sweep as sweep_sims, RunPlan};
 use hostcc::report::{f, pct, Table};
 use hostcc::{
-    chrome_trace_json, metrics_json, CcKind, FaultKind, RunMetrics, TestbedConfig, TraceConfig,
+    chrome_trace_json, metrics_json, CcKind, FaultKind, RunMetrics, Simulation, TelemetryConfig,
+    TestbedConfig, TraceConfig,
 };
 use hostcc_sim::SimDuration;
 
@@ -90,7 +91,16 @@ fn print_help() {
          \u{20}  --sample N          trace 1 in N packet lifecycles (default 1)\n\
          \u{20}  --timeline NS       record time series every NS nanoseconds\n\
          \u{20}  --json              print a JSON metrics snapshot (stage\n\
-         \u{20}                      breakdown, counters, engine events/sec)"
+         \u{20}                      breakdown, counters, engine events/sec)\n\
+         \n\
+         TELEMETRY (run command):\n\
+         \u{20}  --telemetry-out FILE     stream one JSONL line per sample\n\
+         \u{20}                           (host signals + episode inputs)\n\
+         \u{20}  --telemetry-interval NS  sampling cadence (default 5000 ns)\n\
+         \u{20}  --flight-recorder        capture retroactive sample dumps\n\
+         \u{20}                           on drop bursts / faults / stalls\n\
+         \u{20}  (any telemetry flag enables the sampler; episodes and\n\
+         \u{20}   attributions land in the --json telemetry section)"
     );
 }
 
@@ -229,32 +239,82 @@ fn trace_config_from(p: &ParsedArgs) -> Result<Option<TraceConfig>, String> {
     Ok(Some(tc))
 }
 
+/// Build the telemetry configuration implied by the telemetry flags, or
+/// `None` when the run should stay completely unsampled.
+fn telemetry_config_from(p: &ParsedArgs) -> Result<Option<TelemetryConfig>, String> {
+    let wants = p.flags.contains_key("telemetry-out")
+        || p.flags.contains_key("telemetry-interval")
+        || p.switch("flight-recorder");
+    if !wants {
+        return Ok(None);
+    }
+    let mut tc = TelemetryConfig::enabled();
+    let interval: u64 = p
+        .get_parsed("telemetry-interval", tc.interval_ns, "integer (ns)")
+        .map_err(|e| e.to_string())?;
+    if interval == 0 {
+        return Err("--telemetry-interval 0: expected a positive nanosecond interval".into());
+    }
+    tc = tc.with_interval_ns(interval);
+    if p.switch("flight-recorder") {
+        tc = tc.with_flight_recorder();
+    }
+    Ok(Some(tc))
+}
+
 fn cmd_run(p: &ParsedArgs) -> Result<(), String> {
-    let cfg = scenario_from(p)?;
+    let mut cfg = scenario_from(p)?;
     let plan = plan_from(p).map_err(|e| e.to_string())?;
     let label = p.positionals[0].clone();
-    let (m, sim) = match trace_config_from(p)? {
-        Some(tc) => {
-            let (m, sim) = run_traced(cfg, plan, tc).map_err(|e| e.to_string())?;
-            (m, Some(sim))
-        }
-        None => (run_sim(cfg, plan).map_err(|e| e.to_string())?, None),
+    if let Some(tc) = telemetry_config_from(p)? {
+        cfg.telemetry = tc;
+    }
+    let trace = trace_config_from(p)?;
+    let traced = trace.is_some();
+    // Build the simulation directly (rather than through experiment::run)
+    // so the streaming telemetry sink can be installed before the run.
+    cfg.validate()
+        .map_err(|e| hostcc::RunError::from(e).to_string())?;
+    let mut sim = match trace {
+        Some(tc) => Simulation::with_trace(cfg, tc),
+        None => Simulation::new(cfg),
     };
-    if let (Some(sim), Some(path)) = (&sim, p.flags.get("trace-out")) {
-        let w = sim.world();
-        let doc = chrome_trace_json(w.tracer.events(), &w.timeline);
-        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+    if let Some(path) = p.flags.get("telemetry-out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        sim.world_mut()
+            .telemetry
+            .set_sink(Box::new(std::io::BufWriter::new(file)));
+    }
+    let m = sim
+        .try_run(plan.warmup, plan.measure)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = p.flags.get("telemetry-out") {
+        let t = &sim.world().telemetry;
         eprintln!(
-            "wrote {} trace events ({} evicted) to {path}",
-            w.tracer.len(),
-            w.tracer.evicted()
+            "wrote {} telemetry samples ({} episodes, {} flight dumps) to {path}",
+            t.samples_taken(),
+            t.detector().episodes().len(),
+            t.flight_dumps().len()
         );
+    }
+    if traced {
+        if let Some(path) = p.flags.get("trace-out") {
+            let w = sim.world();
+            let doc = chrome_trace_json(w.tracer.events(), &w.timeline);
+            std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} trace events ({} evicted) to {path}",
+                w.tracer.len(),
+                w.tracer.evicted()
+            );
+        }
     }
     if p.switch("json") {
         let empty = hostcc::CounterRegistry::new();
-        let (counters, profile) = match &sim {
-            Some(sim) => (&sim.world().counters, sim.profile()),
-            None => (&empty, None),
+        let (counters, profile) = if traced {
+            (&sim.world().counters, sim.profile())
+        } else {
+            (&empty, None)
         };
         println!("{}", metrics_json(&m, counters, profile));
     } else {
@@ -408,6 +468,76 @@ mod tests {
         )
         .unwrap();
         assert!(scenario_from(&p).unwrap_err().contains("unknown fault"));
+    }
+
+    #[test]
+    fn telemetry_flags_build_config() {
+        // No telemetry flag: the run stays unsampled.
+        let p = parse("run fig3 --quick".split_whitespace().map(String::from)).unwrap();
+        assert!(telemetry_config_from(&p).unwrap().is_none());
+        // Any telemetry flag enables the sampler.
+        let p = parse(
+            "run fig3 --telemetry-interval 2500 --flight-recorder"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let tc = telemetry_config_from(&p).unwrap().unwrap();
+        assert!(tc.enabled && tc.flight_recorder);
+        assert_eq!(tc.interval_ns, 2_500);
+        let p = parse(
+            "run fig3 --telemetry-out out.jsonl"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let tc = telemetry_config_from(&p).unwrap().unwrap();
+        assert!(tc.enabled && !tc.flight_recorder);
+        assert_eq!(tc.interval_ns, TelemetryConfig::enabled().interval_ns);
+        // Bad values are surfaced, not defaulted.
+        let p = parse(
+            "run fig3 --telemetry-interval nope"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(telemetry_config_from(&p).unwrap_err().contains("expected"));
+        let p = parse(
+            "run fig3 --telemetry-interval 0"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(telemetry_config_from(&p)
+            .unwrap_err()
+            .contains("positive nanosecond interval"));
+    }
+
+    #[test]
+    fn telemetry_run_streams_jsonl_and_exports_section() {
+        // End-to-end through dispatch: a quick blindspot run with the
+        // sampler on writes one JSONL line per sample and keeps running.
+        let dir = std::env::temp_dir().join("hostcc-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("samples.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        dispatch(
+            format!("run blindspot --quick --telemetry-out {path_s} --flight-recorder")
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.len() > 100,
+            "expected many samples, got {}",
+            lines.len()
+        );
+        assert!(lines[0].contains("\"t_ns\":"));
+        assert!(lines[0].contains("\"buffer_frac\":"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub use hostcc_host::{
     StageClass, TimelineRecorder, TraceConfig, TraceEvent, Tracer,
 };
 
+// Continuous host-congestion telemetry: sampler config, episode records
+// with root-cause attribution, and the flight-recorder vocabulary.
+pub use hostcc_host::{
+    EpisodeRecord, RootCause, TelemetryConfig, TelemetrySample, TelemetrySummary, TriggerKind,
+};
+
 /// Substrate crates re-exported under one roof.
 pub mod substrate {
     pub use hostcc_fabric as fabric;
@@ -62,6 +68,7 @@ pub mod substrate {
     pub use hostcc_nic as nic;
     pub use hostcc_pcie as pcie;
     pub use hostcc_sim as sim;
+    pub use hostcc_telemetry as telemetry;
     pub use hostcc_trace as trace;
     pub use hostcc_transport as transport;
 }

@@ -9,6 +9,7 @@ use hostcc_memsys::{DdioConfig, MemSysConfig, StreamConfig};
 use hostcc_nic::NicConfig;
 use hostcc_pcie::{CreditConfig, PcieLinkConfig, ReadChannelConfig};
 use hostcc_sim::SimDuration;
+use hostcc_telemetry::TelemetryConfig;
 use hostcc_transport::{DctcpConfig, FlowConfig, HostAwareConfig, RpcConfig, SwiftConfig};
 
 /// How the receiver stack recycles Rx buffers — the policy that shapes
@@ -207,6 +208,11 @@ pub struct TestbedConfig {
     /// Deterministic fault-injection schedule. Empty by default: a run
     /// with an empty plan is bit-identical to one without the fault layer.
     pub faults: FaultPlan,
+    /// Continuous host-congestion telemetry (sampler, episode detector,
+    /// flight recorder). Disabled by default: a telemetry-off run
+    /// schedules no sampling events and is bit-identical to a build
+    /// without the telemetry layer.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for TestbedConfig {
@@ -280,6 +286,7 @@ impl Default for TestbedConfig {
             mem_tick: SimDuration::from_micros(10),
             rto_sweep: SimDuration::from_micros(250),
             faults: FaultPlan::new(),
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::config::ConfigError;
 use hostcc_sim::SimTime;
+use hostcc_telemetry::TelemetrySample;
 
 /// Why a simulation run could not produce metrics. The library's
 /// top-level entry points (`experiment::run`, `run_traced`, `sweep`)
@@ -19,6 +20,11 @@ pub enum RunError {
         at: SimTime,
         /// Events still queued when the run was aborted.
         pending: usize,
+        /// The final telemetry sample before the stall, when the run had
+        /// telemetry enabled — the host signals at the moment progress
+        /// stopped, so the trip is diagnosable without re-running. Boxed
+        /// to keep the error (and every `Result` carrying it) small.
+        telemetry: Option<Box<TelemetrySample>>,
     },
 }
 
@@ -32,12 +38,30 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
-            RunError::Stalled { at, pending } => write!(
-                f,
-                "simulation stalled at t={}ns with {pending} events pending \
-                 (the clock stopped advancing; see RunOutcome::Stalled)",
-                at.as_nanos()
-            ),
+            RunError::Stalled {
+                at,
+                pending,
+                telemetry,
+            } => {
+                write!(
+                    f,
+                    "simulation stalled at t={}ns with {pending} events pending \
+                     (the clock stopped advancing; see RunOutcome::Stalled)",
+                    at.as_nanos()
+                )?;
+                if let Some(s) = telemetry {
+                    write!(
+                        f,
+                        "; final telemetry: buffer {:.0}% full, {} drops/window, \
+                         {} credit stalls/window, {:.2} walks/packet",
+                        s.buffer_frac * 100.0,
+                        s.drops,
+                        s.credit_stalls,
+                        s.walks_per_packet()
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -62,8 +86,41 @@ mod tests {
         let e = RunError::Stalled {
             at: SimTime::from_nanos(99),
             pending: 3,
+            telemetry: None,
         };
         let msg = e.to_string();
         assert!(msg.contains("99") && msg.contains("3 events"), "{msg}");
+    }
+
+    #[test]
+    fn stall_display_includes_final_telemetry() {
+        let sample = TelemetrySample {
+            t_ns: 95,
+            buffer_occupancy_bytes: 900,
+            buffer_frac: 0.9,
+            ring_free_slots: 0,
+            delivered: 0,
+            drops: 7,
+            credit_stalls: 12,
+            iotlb_lookups: 40,
+            iotlb_misses: 30,
+            walks: 120,
+            packets: 10,
+            host_delay_ns: 0,
+            cpu_ns: 0,
+            acks: 0,
+            fabric_delay_ns: 0,
+            mem_util: 0.5,
+            mem_latency_ns: 200.0,
+        };
+        let e = RunError::Stalled {
+            at: SimTime::from_nanos(99),
+            pending: 3,
+            telemetry: Some(Box::new(sample)),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("90% full"), "{msg}");
+        assert!(msg.contains("7 drops"), "{msg}");
+        assert!(msg.contains("12.00 walks/packet"), "{msg}");
     }
 }

@@ -89,6 +89,46 @@ pub fn metrics_json(
         w.key("recovered").bool(f.recovered);
         w.end_obj();
     }
+    // Telemetry time-series summary, gated exactly like `faults`:
+    // telemetry-off exports stay byte-identical (golden digests).
+    if let Some(t) = &m.telemetry {
+        w.key("telemetry").begin_obj();
+        w.key("samples").int(t.samples);
+        w.key("interval_ns").int(t.interval_ns);
+        w.key("flight_dumps").int(t.flight_dumps);
+        w.key("dropped_episodes").int(t.dropped_episodes);
+        w.key("episodes").begin_arr();
+        for e in &t.episodes {
+            w.begin_obj();
+            w.key("onset_ns").int(e.onset_ns);
+            w.key("peak_ns").int(e.peak_ns);
+            w.key("clear_ns").int(e.clear_ns);
+            w.key("open").bool(e.open);
+            w.key("samples").int(e.samples as u64);
+            w.key("drops").int(e.drops);
+            w.key("peak_buffer_frac").num(e.peak_buffer_frac);
+            w.key("cause").str(e.cause.name());
+            w.key("z").num(e.z);
+            w.key("walks_per_packet").num(e.walks_per_packet);
+            w.key("mem_util").num(e.mem_util);
+            w.key("mem_latency_ns").num(e.mem_latency_ns);
+            w.key("credit_stalls").int(e.credit_stalls);
+            w.key("cpu_ns_per_packet").num(e.cpu_ns_per_packet);
+            w.end_obj();
+        }
+        w.end_arr();
+        if let Some(s) = &t.last {
+            w.key("last_sample").begin_obj();
+            w.key("t_ns").int(s.t_ns);
+            w.key("buffer_frac").num(s.buffer_frac);
+            w.key("drops").int(s.drops);
+            w.key("credit_stalls").int(s.credit_stalls);
+            w.key("walks_per_packet").num(s.walks_per_packet());
+            w.key("mem_util").num(s.mem_util);
+            w.end_obj();
+        }
+        w.end_obj();
+    }
     w.key("counters").begin_obj();
     for (name, value) in counters.snapshot() {
         w.key(&name).int(value);

@@ -34,3 +34,10 @@ pub use hostcc_trace::{
     chrome_trace_json, CounterRegistry, CounterSource, Stage, StageBreakdown, StageClass,
     TimelineRecorder, TraceConfig, TraceEvent, Tracer,
 };
+
+// Re-export the telemetry vocabulary (TelemetryConfig rides on
+// TestbedConfig; the summary rides on RunMetrics and RunError::Stalled).
+pub use hostcc_telemetry::{
+    EpisodeRecord, FlightDump, RootCause, SignalInputs, Telemetry, TelemetryConfig,
+    TelemetrySample, TelemetrySummary, TriggerKind,
+};

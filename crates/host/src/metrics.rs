@@ -3,6 +3,7 @@
 
 use hostcc_faults::FaultSummary;
 use hostcc_sim::{Histogram, SimDuration, SimTime};
+use hostcc_telemetry::TelemetrySummary;
 use hostcc_trace::StageBreakdown;
 
 /// Aggregated measurements from one testbed run.
@@ -59,6 +60,10 @@ pub struct RunMetrics {
     /// was non-empty (zero-fault runs carry no summary so their exported
     /// metrics stay byte-identical to pre-fault-layer builds).
     pub faults: Option<FaultSummary>,
+    /// Telemetry summary (sample totals + detected host-congestion
+    /// episodes with root-cause attribution): `Some` only when the run
+    /// had telemetry enabled, for the same byte-identity reason.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunMetrics {
@@ -233,6 +238,7 @@ impl MetricsCollector {
             occupancy_samples: self.occupancy_samples.clone(),
             stage_breakdown: self.stage_breakdown.clone(),
             faults: None,
+            telemetry: None,
         }
     }
 }

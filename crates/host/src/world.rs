@@ -35,6 +35,7 @@ use hostcc_sim::{
     stream_seed, DispatchProfile, Engine, EventQueue, Ewma, Queue, RunOutcome, Scheduler,
     SerialLink, SimDuration, SimRng, SimTime, World,
 };
+use hostcc_telemetry::{SignalInputs, Telemetry};
 use hostcc_trace::{
     CounterRegistry, SampleRing, Stage, TimelineRecorder, TraceConfig, TraceEvent, Tracer,
 };
@@ -113,6 +114,9 @@ pub enum Event {
     /// 0 opens a window, 1 closes one, and 2 is an in-window tick (the
     /// IOTLB-storm flush cadence). Packed to keep the event handle-sized.
     Fault(u32),
+    /// Periodic telemetry sampling tick (scheduled only when telemetry is
+    /// enabled, so telemetry-off runs dispatch an identical event stream).
+    TelemetryTick,
 }
 
 // The whole point of the handle-based datapath: events must stay small
@@ -205,6 +209,9 @@ pub struct Testbed {
     pub counters: CounterRegistry,
     /// Periodic time-series recorder (disabled by default).
     pub timeline: TimelineRecorder,
+    /// Continuous host-congestion telemetry: sampler + episode detector +
+    /// flight recorder (disabled by default; purely observational).
+    pub telemetry: Telemetry,
     rtx_base: u64,
     timeout_base: u64,
     // --- fault injection ---
@@ -460,6 +467,7 @@ impl Testbed {
             tracer: Tracer::disabled(),
             counters: CounterRegistry::new(),
             timeline: TimelineRecorder::disabled(),
+            telemetry: Telemetry::new(cfg.telemetry),
             rtx_base: 0,
             timeout_base: 0,
             faults,
@@ -510,6 +518,15 @@ impl Testbed {
                 sched.after(at, Event::Fault((idx as u32) << 2));
             }
         }
+        // The telemetry sampler rides the same wheel as everything else,
+        // so batched and per-event dispatch sample at identical instants.
+        // Telemetry off = no events: those runs stay bit-identical.
+        if self.telemetry.is_enabled() {
+            sched.after(
+                SimDuration::from_nanos(self.telemetry.interval_ns()),
+                Event::TelemetryTick,
+            );
+        }
     }
 
     fn flow_index(&self, id: FlowId) -> u32 {
@@ -550,6 +567,11 @@ impl Testbed {
         m.timeouts = to_now - self.timeout_base;
         if !self.cfg.faults.is_empty() {
             m.faults = Some(self.recovery.summarize(&self.faults.counters));
+        }
+        // Like `faults`: the section exists only when the subsystem ran,
+        // so telemetry-off exports stay byte-identical.
+        if self.telemetry.is_enabled() {
+            m.telemetry = Some(self.telemetry.summary(now.as_nanos()));
         }
         self.collect_counters();
         m
@@ -1042,6 +1064,9 @@ impl Testbed {
             job.admitted + SimDuration::from_nanos(job.pcie_ns + job.mem_ns + job.iommu_ns);
         let buffer_ns = job.admitted.saturating_since(job.nic_arrival).as_nanos();
         let cpu_ns = now.saturating_since(dma_done).as_nanos();
+        if self.telemetry.is_enabled() {
+            self.telemetry.on_packet(host_delay.as_nanos(), cpu_ns);
+        }
         if self.metrics.armed {
             self.metrics.host_delay.record(host_delay.as_nanos());
             self.metrics.stage_breakdown.record(
@@ -1149,6 +1174,14 @@ impl Testbed {
     ) {
         // The ACK is consumed at the sender; its slab entry retires.
         let ack = self.store.free(ack);
+        if self.telemetry.is_enabled() {
+            // Fabric share of the round trip: RTT minus the echoed host
+            // delay. Independent of `metrics.armed`, so the sampler sees
+            // warm-up windows too.
+            let rtt_ns = now.saturating_since(ack.sent_at).as_nanos();
+            self.telemetry
+                .on_ack(rtt_ns.saturating_sub(ack.host_delay_echo.as_nanos()));
+        }
         if self.metrics.armed {
             let rtt = now.saturating_since(ack.sent_at);
             self.metrics.rtt.record(rtt.as_nanos());
@@ -1192,6 +1225,7 @@ impl Testbed {
                 // wheel dispatches it first and ticks see a closed window.
                 let kind = self.faults.begin(idx);
                 self.recovery.on_window_start(now.as_nanos());
+                self.telemetry.on_fault_window(now.as_nanos());
                 let duration = self.faults.spec(idx).duration;
                 match kind {
                     FaultKind::IotlbStorm { .. } => {
@@ -1402,6 +1436,44 @@ impl Testbed {
         self.last_tick = now;
         sched.after(self.cfg.mem_tick, Event::MemTick);
     }
+
+    /// Telemetry sampling tick: read the datapath's gauges and lifetime
+    /// counters, hand them to the sampler (which stores per-window
+    /// deltas, runs the episode detector and streams to the sink), and
+    /// re-arm. Every read is observational — the memory-system calls are
+    /// pure memoization — so sampling cannot perturb the run.
+    fn handle_telemetry_tick<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        let min_ring_free = self
+            .nic
+            .queues
+            .iter()
+            .map(|q| q.ring.free_slots())
+            .min()
+            .unwrap_or(0);
+        let tlb = self.iommu.iotlb_stats();
+        let inputs = SignalInputs {
+            buffer_occupancy_bytes: self.nic.input.occupancy_bytes(),
+            buffer_capacity_bytes: self.nic.input.capacity_bytes(),
+            min_ring_free,
+            delivered_total: self.nic.stats.delivered_packets,
+            drops_total: self.nic.stats.total_drops(),
+            credit_stalls_total: self.credits.stalls(),
+            iotlb_lookups_total: tlb.lookups,
+            iotlb_misses_total: tlb.misses,
+            walks_total: self.iommu.stats().walk_memory_accesses,
+            mem_util: self.mem.utilization(),
+            mem_latency_ns: self.mem.access_latency_ns(),
+        };
+        self.telemetry.sample(now.as_nanos(), inputs);
+        sched.after(
+            SimDuration::from_nanos(self.telemetry.interval_ns()),
+            Event::TelemetryTick,
+        );
+    }
 }
 
 impl World for Testbed {
@@ -1428,6 +1500,7 @@ impl World for Testbed {
             Event::RtoSweep => self.handle_rto_sweep(now, sched),
             Event::MemTick => self.handle_mem_tick(now, sched),
             Event::Fault(code) => self.handle_fault(now, code, sched),
+            Event::TelemetryTick => self.handle_telemetry_tick(now, sched),
         }
     }
 
@@ -1617,12 +1690,20 @@ impl<Q: Queue<Event>> Simulation<Q> {
         Ok(self.engine.world.snapshot(t2))
     }
 
-    fn check_outcome(&self, outcome: RunOutcome) -> Result<(), RunError> {
+    fn check_outcome(&mut self, outcome: RunOutcome) -> Result<(), RunError> {
         match outcome {
-            RunOutcome::Stalled { at } => Err(RunError::Stalled {
-                at,
-                pending: self.engine.sched.pending(),
-            }),
+            RunOutcome::Stalled { at } => {
+                let pending = self.engine.sched.pending();
+                // Fire the flight recorder (the samples leading into the
+                // stall) and carry the final signals on the error itself,
+                // so a tripped watchdog is diagnosable without re-running.
+                self.engine.world.telemetry.on_stall(at.as_nanos());
+                Err(RunError::Stalled {
+                    at,
+                    pending,
+                    telemetry: self.engine.world.telemetry.last_sample().map(Box::new),
+                })
+            }
             _ => Ok(()),
         }
     }

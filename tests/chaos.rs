@@ -270,3 +270,54 @@ fn zero_fault_runs_have_no_fault_artifacts() {
         "zero-fault runs must not register fault counters"
     );
 }
+
+/// Telemetry under chaos is bit-identical across dispatch modes: for all
+/// three registered chaos scenarios, the sample stream, episode table
+/// (boundaries + attributions) and flight-recorder dumps match exactly
+/// between batched slot-drain and per-event dispatch — fault windows
+/// included (window opens trigger flight dumps).
+#[test]
+fn chaos_telemetry_is_batching_invariant() {
+    let plan = RunPlan::quick();
+    for (name, cfg) in [
+        ("chaos-replay", scenarios::chaos_replay()),
+        ("chaos-flap", scenarios::chaos_flap()),
+        ("chaos-invalidate", scenarios::chaos_invalidate()),
+    ] {
+        let mut cfg = cfg;
+        cfg.telemetry = hostcc::TelemetryConfig::enabled().with_flight_recorder();
+        let mut batched = Simulation::new(cfg.clone());
+        let mb = batched
+            .try_run(plan.warmup, plan.measure)
+            .unwrap_or_else(|e| panic!("{name} (batched) must not stall: {e}"));
+        let mut per_event = Simulation::new(cfg);
+        per_event.set_batched(false);
+        let mp = per_event
+            .try_run(plan.warmup, plan.measure)
+            .unwrap_or_else(|e| panic!("{name} (per-event) must not stall: {e}"));
+
+        let tb = &batched.world().telemetry;
+        let tp = &per_event.world().telemetry;
+        assert!(tb.samples_taken() > 0, "{name}: sampler never ticked");
+        let sb: Vec<_> = tb.samples().copied().collect();
+        let sp: Vec<_> = tp.samples().copied().collect();
+        assert_eq!(sb, sp, "{name}: telemetry sample streams diverged");
+        assert_eq!(
+            mb.telemetry, mp.telemetry,
+            "{name}: telemetry summary (episodes/attributions) diverged"
+        );
+        // Fault windows open at identical instants, so the flight
+        // recorder captures identical dumps.
+        assert_eq!(
+            tb.flight_dumps(),
+            tp.flight_dumps(),
+            "{name}: flight dumps diverged"
+        );
+        assert!(
+            !tb.flight_dumps().is_empty(),
+            "{name}: fault windows must trigger flight dumps"
+        );
+        // Telemetry remains observational under chaos too.
+        assert_eq!(mb.faults, mp.faults, "{name}: fault summary diverged");
+    }
+}

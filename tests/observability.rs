@@ -147,3 +147,59 @@ fn metrics_json_parses_back_and_matches() {
         .expect("nic.delivered_packets counter");
     assert_eq!(nic_delivered as u64, m.delivered_packets);
 }
+
+/// Telemetry and tracing compose without perturbing each other: a traced
+/// run with telemetry on produces a bit-identical sample stream and
+/// episode table to an untraced telemetry run, and bit-identical metrics
+/// to a plain run.
+#[test]
+fn telemetry_is_bit_identical_traced_and_untraced() {
+    let plan = RunPlan::quick();
+    let telemetry_cfg = hostcc::TelemetryConfig::enabled();
+    let mut tcfg = cfg();
+    tcfg.telemetry = telemetry_cfg;
+
+    let mut plain = Simulation::new(tcfg.clone());
+    let m_plain = plain
+        .try_run(plan.warmup, plan.measure)
+        .expect("plain telemetry run");
+
+    let (m_traced, traced) = run_traced(
+        tcfg,
+        plan,
+        TraceConfig::enabled(50_000)
+            .with_sampling(4)
+            .with_timeline(10_000),
+    );
+    assert!(!traced.world().tracer.is_empty());
+
+    let s_plain: Vec<_> = plain.world().telemetry.samples().copied().collect();
+    let s_traced: Vec<_> = traced.world().telemetry.samples().copied().collect();
+    assert!(!s_plain.is_empty());
+    assert_eq!(s_plain, s_traced, "tracing perturbed the sample stream");
+    assert_eq!(m_plain.telemetry, m_traced.telemetry);
+    assert_eq!(m_plain.delivered_packets, m_traced.delivered_packets);
+    assert_eq!(m_plain.host_delay.sum(), m_traced.host_delay.sum());
+
+    // And telemetry leaves the *base* metrics untouched relative to a
+    // run with no observability at all.
+    let base = run(cfg(), plan);
+    assert_eq!(base.delivered_packets, m_plain.delivered_packets);
+    assert_eq!(base.host_delay.sum(), m_plain.host_delay.sum());
+    assert_eq!(base.rtt.sum(), m_plain.rtt.sum());
+}
+
+/// Telemetry-off runs carry no telemetry artifacts anywhere: no summary
+/// on the metrics, no "telemetry" key in the JSON export (the golden
+/// digests in queue_equivalence.rs depend on this byte-identity).
+#[test]
+fn zero_telemetry_runs_have_no_telemetry_artifacts() {
+    let (m, sim) = run_traced(cfg(), RunPlan::quick(), TraceConfig::enabled(1_000));
+    assert!(m.telemetry.is_none());
+    assert_eq!(sim.world().telemetry.samples_taken(), 0);
+    let out = metrics_json(&m, &sim.world().counters, sim.profile());
+    assert!(
+        !out.contains("\"telemetry\""),
+        "telemetry-off export must not mention telemetry"
+    );
+}
