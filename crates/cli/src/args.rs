@@ -58,7 +58,14 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches (flags that take no value).
-const SWITCHES: &[&str] = &["csv", "json", "quick", "help", "flight-recorder"];
+const SWITCHES: &[&str] = &[
+    "csv",
+    "json",
+    "quick",
+    "help",
+    "flight-recorder",
+    "fuse-chains",
+];
 
 /// Value-taking flags the CLI understands. Anything else is a typo the
 /// parser rejects up front — silently ignoring it would make e.g.
@@ -80,6 +87,7 @@ const VALUE_FLAGS: &[&str] = &[
     "timeline",
     "telemetry-out",
     "telemetry-interval",
+    "resolution",
 ];
 
 /// Parse a raw argument vector (excluding argv[0]).

@@ -74,6 +74,13 @@ fn print_help() {
          \u{20}  --seed N            RNG seed\n\
          \u{20}  --warmup-ms N       warm-up (default 25)\n\
          \u{20}  --measure-ms N      measurement (default 25)\n\
+         \u{20}  --resolution NS     quantise event time to a power-of-two\n\
+         \u{20}                      grid (default 1 = exact; 64 = coarse\n\
+         \u{20}                      profile, faster dispatch, not\n\
+         \u{20}                      bit-identical to exact runs)\n\
+         \u{20}  --fuse-chains       fuse uncontended DMA-complete chains\n\
+         \u{20}                      into macro events (implies nothing\n\
+         \u{20}                      else; ignored when faults are active)\n\
          \u{20}  --csv               machine-readable output\n\
          \u{20}  --quick             short run (5+10 ms)\n\
          \n\
@@ -126,6 +133,15 @@ fn apply_overrides(cfg: &mut TestbedConfig, p: &ParsedArgs) -> Result<(), ArgErr
         if let CcKind::Swift(ref mut sc) = cfg.cc {
             sc.host_target = SimDuration::from_micros(target_us);
         }
+    }
+    let res_ns: u64 = p.get_parsed("resolution", cfg.resolution.nanos(), "integer (ns)")?;
+    cfg.resolution = hostcc_sim::Resolution::from_nanos(res_ns).ok_or(ArgError::BadValue {
+        flag: "resolution".to_string(),
+        value: res_ns.to_string(),
+        expected: "a power of two between 1 and 65536 ns",
+    })?;
+    if p.switch("fuse-chains") {
+        cfg.fuse_chains = true;
     }
     Ok(())
 }
@@ -418,6 +434,36 @@ mod tests {
         assert!(!cfg.iommu.enabled);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.rx_region_bytes, 8 << 20);
+    }
+
+    #[test]
+    fn resolution_and_fusion_overrides_apply() {
+        let p = parse(
+            "run fig3 --resolution 64 --fuse-chains"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let mut cfg = hostcc::scenarios::fig3(12, true);
+        apply_overrides(&mut cfg, &p).unwrap();
+        assert_eq!(cfg.resolution.nanos(), 64);
+        assert!(cfg.fuse_chains);
+        // Default stays exact with fusion off.
+        let p = parse("run fig3".split_whitespace().map(String::from)).unwrap();
+        let mut cfg = hostcc::scenarios::fig3(12, true);
+        apply_overrides(&mut cfg, &p).unwrap();
+        assert!(cfg.resolution.is_exact());
+        assert!(!cfg.fuse_chains);
+        // Non-power-of-two grids are rejected up front.
+        let p = parse(
+            "run fig3 --resolution 100"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let mut cfg = hostcc::scenarios::fig3(12, true);
+        let e = apply_overrides(&mut cfg, &p).unwrap_err();
+        assert!(format!("{e}").contains("power of two"), "{e}");
     }
 
     #[test]

@@ -185,6 +185,55 @@ pub fn with_subrtt_response(mut cfg: TestbedConfig, host_target_us: u64) -> Test
     cfg
 }
 
+/// Coarse-time profile (explicit opt-in): quantise every approximate
+/// latency term — serialisation boundaries, pacer grants, DMA stage sums
+/// — up to a 64 ns grid and fuse uncontended DmaComplete→CpuDone chains
+/// into single macro events. Event timestamps collapse onto shared wheel
+/// slots, which is what makes batched slot-drain dispatch actually pay
+/// (mean batch ≥ 4 instead of ~1). Not bit-identical to exact-time runs;
+/// the coarse goldens in `tests/queue_equivalence.rs` pin its behaviour
+/// separately.
+pub fn with_coarse_time(mut cfg: TestbedConfig) -> TestbedConfig {
+    cfg.resolution = hostcc_sim::Resolution::from_nanos(64).expect("64 is a power of two");
+    cfg.fuse_chains = true;
+    cfg
+}
+
+/// A host `gen_mult` NIC generations ahead of the paper's 100 G testbed:
+/// line rate, PCIe generation, DDR speed, posted-credit window, buffers
+/// and per-packet core cost all scale together, so the host sinks
+/// `gen_mult`× the packet rate before congesting. `1` is the paper's
+/// testbed unchanged; `2` ≈ a 200 G / Gen4 / DDR5 host; `4` ≈ 400 G /
+/// Gen5 with doubled memory channels. Fleet benches use this to model
+/// the event-dense tail of the Fig. 1 scatter — newer hosts push ~4×
+/// the events per nanosecond of simulated time through the engine,
+/// which is exactly the regime where slot-sharing and batched dispatch
+/// have to pay.
+pub fn with_line_rate_generation(mut cfg: TestbedConfig, gen_mult: u32) -> TestbedConfig {
+    let m = gen_mult.max(1);
+    let mf = f64::from(m);
+    cfg.sender_link_bps *= mf;
+    cfg.access_link_bps *= mf;
+    cfg.switch_buffer_bytes *= u64::from(m);
+    cfg.ecn_threshold_bytes *= u64::from(m);
+    cfg.nic.input_buffer_bytes *= u64::from(m);
+    cfg.credits.posted_header *= m;
+    cfg.credits.posted_data *= m;
+    if m >= 2 {
+        cfg.pcie.gen = hostcc_pcie::PcieGen::Gen4;
+        // DDR4-2400 -> DDR5-4800.
+        cfg.memsys.channel_mts *= 2.0;
+    }
+    if m >= 4 {
+        cfg.pcie.gen = hostcc_pcie::PcieGen::Gen5;
+        cfg.memsys.channels *= 2;
+    }
+    // Faster cores / more receive offload: per-packet CPU cost shrinks
+    // with the generation so the cores keep up with the line rate.
+    cfg.core_pkt_cost = cfg.core_pkt_cost / u64::from(m);
+    cfg
+}
+
 /// Shared base for the chaos scenarios: a smaller testbed (8 senders,
 /// 4 receiver cores) so CI chaos smoke runs stay cheap, with fault
 /// windows recurring every 5 ms from t=6 ms — inside the measurement
@@ -324,6 +373,46 @@ mod tests {
         assert_eq!(cfg.iommu.iotlb_ways, 512);
         let cfg = with_membw_qos(baseline(), 0.5);
         assert!((cfg.stream.per_core_bytes_per_sec - 5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn coarse_time_sets_grid_and_fusion() {
+        let cfg = with_coarse_time(baseline());
+        assert_eq!(cfg.resolution.nanos(), 64);
+        assert!(cfg.fuse_chains);
+        assert!(cfg.validate().is_ok());
+        // The default profile stays exact: historical goldens depend on it.
+        assert!(baseline().resolution.is_exact());
+        assert!(!baseline().fuse_chains);
+    }
+
+    #[test]
+    fn line_rate_generation_scales_the_whole_host() {
+        let base = baseline();
+        // Generation 1 (and the 0 clamp) is the paper's testbed unchanged.
+        for m in [0, 1] {
+            let cfg = with_line_rate_generation(baseline(), m);
+            assert_eq!(cfg.sender_link_bps, base.sender_link_bps);
+            assert_eq!(cfg.pcie.gen, base.pcie.gen);
+            assert_eq!(cfg.core_pkt_cost, base.core_pkt_cost);
+        }
+        let g2 = with_line_rate_generation(baseline(), 2);
+        assert_eq!(g2.sender_link_bps, base.sender_link_bps * 2.0);
+        assert_eq!(g2.access_link_bps, base.access_link_bps * 2.0);
+        assert_eq!(g2.pcie.gen, hostcc_pcie::PcieGen::Gen4);
+        assert_eq!(g2.memsys.channels, base.memsys.channels);
+        let g4 = with_line_rate_generation(baseline(), 4);
+        assert_eq!(g4.pcie.gen, hostcc_pcie::PcieGen::Gen5);
+        assert_eq!(g4.memsys.channels, base.memsys.channels * 2);
+        assert_eq!(g4.credits.posted_data, base.credits.posted_data * 4);
+        assert_eq!(g4.core_pkt_cost, base.core_pkt_cost / 4);
+        // Scaled hosts must still be valid testbeds (the fleet bench
+        // builds on this) and keep exact time unless opted into coarse.
+        for m in [2, 4] {
+            let cfg = with_line_rate_generation(baseline(), m);
+            assert!(cfg.validate().is_ok());
+            assert!(cfg.resolution.is_exact());
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! any of the paper's experiments; the host is).
 
 use crate::packet::Packet;
-use hostcc_sim::{SerialLink, SimDuration, SimTime};
+use hostcc_sim::{Resolution, SerialLink, SimDuration, SimTime};
 
 /// A point-to-point link: serialisation at a fixed rate plus propagation.
 #[derive(Debug)]
@@ -28,6 +28,14 @@ impl Link {
             delivered_bytes: 0,
             delivered_packets: 0,
         }
+    }
+
+    /// Quantise per-packet serialisation boundaries up to `res`. The
+    /// 1 ns `for_bytes` ceiling is already an approximation of the true
+    /// fractional wire time; a coarse grid widens it so arrivals coalesce
+    /// onto shared wheel slots (identity at the default exact resolution).
+    pub fn set_resolution(&mut self, res: Resolution) {
+        self.serial.set_resolution(res);
     }
 
     /// Transmit a packet entering the link at `now`; returns its arrival
@@ -113,6 +121,12 @@ impl SwitchPort {
     /// Minimum Ethernet frame size; no packet on the wire is smaller, so
     /// `buffer_bytes / MIN_WIRE_BYTES` bounds the departure-ring length.
     const MIN_WIRE_BYTES: u64 = 64;
+
+    /// Quantise egress serialisation boundaries up to `res` (see
+    /// [`Link::set_resolution`]).
+    pub fn set_resolution(&mut self, res: Resolution) {
+        self.link.set_resolution(res);
+    }
 
     /// Drop packets whose serialisation finished before `now` from the
     /// occupancy accounting.

@@ -8,7 +8,7 @@ use hostcc_mem::PageSize;
 use hostcc_memsys::{DdioConfig, MemSysConfig, StreamConfig};
 use hostcc_nic::NicConfig;
 use hostcc_pcie::{CreditConfig, PcieLinkConfig, ReadChannelConfig};
-use hostcc_sim::SimDuration;
+use hostcc_sim::{Resolution, SimDuration};
 use hostcc_telemetry::TelemetryConfig;
 use hostcc_transport::{DctcpConfig, FlowConfig, HostAwareConfig, RpcConfig, SwiftConfig};
 
@@ -213,6 +213,21 @@ pub struct TestbedConfig {
     /// schedules no sampling events and is bit-identical to a build
     /// without the telemetry layer.
     pub telemetry: TelemetryConfig,
+    /// Simulation time grid. The default exact (1 ns) resolution
+    /// reproduces historical runs bit for bit. A coarse power-of-two grid
+    /// (e.g. 64 ns) rounds the latency terms that are already
+    /// approximations — serialisation boundaries, pacer grants, memory
+    /// tick latencies — *up* to the grid so nearby events share timing
+    /// wheel slots and slot-drain batching genuinely fans out. An
+    /// explicit opt-in: coarse runs have their own pinned goldens.
+    pub resolution: Resolution,
+    /// Fuse the uncontended DmaComplete→CpuDone chain into one macro
+    /// event when the receiving core is known to be free at DMA-complete
+    /// time. Off by default (bit-identical to historical runs); enabled
+    /// by the coarse-time profile alongside `resolution`. Disabled
+    /// automatically when a fault plan is present (core preemption
+    /// invalidates the reservation this optimisation relies on).
+    pub fuse_chains: bool,
 }
 
 impl Default for TestbedConfig {
@@ -287,6 +302,8 @@ impl Default for TestbedConfig {
             rto_sweep: SimDuration::from_micros(250),
             faults: FaultPlan::new(),
             telemetry: TelemetryConfig::disabled(),
+            resolution: Resolution::EXACT,
+            fuse_chains: false,
         }
     }
 }

@@ -6,13 +6,18 @@
 //! sim crate is fixed-rate; this variant re-anchors its busy horizon
 //! whenever the rate is updated.
 
-use hostcc_sim::{SimDuration, SimTime};
+use hostcc_sim::{Resolution, SimDuration, SimTime};
 
 /// Serialising server with an adjustable byte rate.
 #[derive(Debug, Clone)]
 pub struct VariableRateLink {
     bytes_per_sec: f64,
     free_at: SimTime,
+    /// Per-item serialisation times are rounded up to this grid (identity
+    /// at the default exact resolution); `for_bytes` already rounds up to
+    /// whole nanoseconds, so a coarse grid is the same approximation with
+    /// a wider quantum.
+    res: Resolution,
 }
 
 impl VariableRateLink {
@@ -22,7 +27,13 @@ impl VariableRateLink {
         VariableRateLink {
             bytes_per_sec,
             free_at: SimTime::ZERO,
+            res: Resolution::EXACT,
         }
+    }
+
+    /// Quantise serialisation completion times up to `res`.
+    pub fn set_resolution(&mut self, res: Resolution) {
+        self.res = res;
     }
 
     /// Change the drain rate from `now` onwards. Work already accepted
@@ -41,7 +52,10 @@ impl VariableRateLink {
     /// time (earliest-start, FIFO).
     pub fn transmit(&mut self, at: SimTime, bytes: u64) -> SimTime {
         let start = if at > self.free_at { at } else { self.free_at };
-        let done = start + SimDuration::for_bytes(bytes, self.bytes_per_sec);
+        let ser = self
+            .res
+            .ceil_duration(SimDuration::for_bytes(bytes, self.bytes_per_sec));
+        let done = start + ser;
         self.free_at = done;
         done
     }
@@ -84,6 +98,16 @@ mod tests {
         let mut v = VariableRateLink::new(1e9);
         v.set_rate(SimTime::ZERO, 0.0);
         assert!(v.rate() >= 1.0);
+    }
+
+    #[test]
+    fn coarse_resolution_quantises_each_item() {
+        let mut v = VariableRateLink::new(1e9);
+        v.set_resolution(Resolution::from_nanos(64).unwrap());
+        // 1000 B at 1 GB/s = 1000 ns -> next 64 ns boundary = 1024; the
+        // quantum applies per item, so back-to-back stays on the grid.
+        assert_eq!(v.transmit(SimTime::ZERO, 1000).as_nanos(), 1024);
+        assert_eq!(v.transmit(SimTime::ZERO, 1000).as_nanos(), 2048);
     }
 
     #[test]

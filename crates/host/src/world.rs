@@ -97,6 +97,12 @@ pub enum Event {
     DmaComplete(DmaRef),
     /// A receiver thread finished processing a packet.
     CpuDone(DmaRef),
+    /// Fused macro-event for an uncontended DMA chain: the packet's DMA
+    /// retires *and* its (already reserved) receiver core finishes at
+    /// `now + per_pkt_cost`. Emitted only when chain fusion is active and
+    /// the launch path proved the core idle through the DMA completion —
+    /// one wheel round-trip instead of two for the common case.
+    DmaChain(DmaRef),
     /// An ACK (with piggybacked RPC frontier) reaches its sender.
     AckToSender {
         /// Flow index.
@@ -193,6 +199,16 @@ pub struct Testbed {
     /// from the dispatch hot path without changing admission order (the
     /// launch handler drains every admissible packet anyway).
     dma_launch_pending: bool,
+    /// Chain fusion enabled for this run: `cfg.fuse_chains` and no fault
+    /// plan (CorePreempt windows rewrite `core_free_at`, which would
+    /// invalidate launch-time core reservations).
+    fuse_active: bool,
+    /// Unfused DMA jobs in flight per receiver thread. A chain may only
+    /// fuse when this is zero for its thread: a pending unfused
+    /// completion claims the core at *dispatch* time, so fusing past it
+    /// could start the fused packet's CPU work on a core an earlier
+    /// packet is about to take.
+    unfused_inflight: Vec<u32>,
     /// Rolling trace of DMA-launch thread ids (diagnostics).
     pub launch_trace: SampleRing<u32>,
     /// Mean switch backlog accumulator (diagnostics).
@@ -372,7 +388,7 @@ impl Testbed {
             }
         }
 
-        let sender_links = (0..cfg.senders)
+        let sender_links: Vec<Link> = (0..cfg.senders)
             .map(|_| {
                 let spread = cfg.propagation_spread.clamp(0.0, 0.95);
                 let factor = 1.0 - spread + 2.0 * spread * rng.next_f64();
@@ -388,6 +404,17 @@ impl Testbed {
 
         let pcie_pipe = SerialLink::new(cfg.pcie.effective_goodput_bytes_per_sec());
         let mem_pipe = VariableRateLink::new(cfg.memsys.achievable_bytes_per_sec());
+        // Quantised time happens once, at the event-queue boundary: the
+        // scheduler's queue rounds every pushed timestamp up to
+        // `cfg.resolution`, so all dispatch instants land on the grid and
+        // nearby completions share wheel slots. The rate models above
+        // deliberately keep their *internal* clocks exact — rounding each
+        // serialisation term inside a link would cap it at one packet per
+        // grid step (a 400 G link quantised per-packet to 64 ns behaves
+        // like 128 G), whereas quantising only the dispatch instant
+        // displaces each event by < one grid step without distorting
+        // sustained rates. (Components still expose `set_resolution` for
+        // callers that want coarse internal clocks.)
         let credits = CreditState::new(cfg.credits);
         let pkt_credits = WriteCredits::for_write(wire.mtu_payload as u64, cfg.pcie.max_payload);
 
@@ -459,6 +486,8 @@ impl Testbed {
             pkt_credits,
             ddio_leak: 1.0,
             dma_launch_pending: false,
+            fuse_active: cfg.fuse_chains && cfg.faults.is_empty(),
+            unfused_inflight: vec![0; threads as usize],
             launch_trace: SampleRing::new(8192),
             switch_backlog_sum: 0.0,
             link_backlog_sum: 0.0,
@@ -967,6 +996,25 @@ impl Testbed {
                 mem_ns,
                 iommu_ns,
             });
+            // Chain fusion: when the receiver core is provably idle
+            // through the DMA completion (no unfused completion pending
+            // on it, and its busy horizon ends by then), reserve the core
+            // now and collapse DmaComplete -> CpuDone into one macro
+            // event — half the wheel traffic for the uncontended common
+            // case. The event queue rounds timestamps up to the run's
+            // resolution, so the reservation uses the same quantised
+            // instant the macro event will actually dispatch at.
+            if self.fuse_active && self.unfused_inflight[thread] == 0 {
+                let done_q = self.cfg.resolution.ceil_time(done);
+                if self.core_free_at[thread] <= done_q {
+                    self.core_free_at[thread] = done_q + self.per_pkt_cost;
+                    sched.at(done, Event::DmaChain(job));
+                    continue;
+                }
+            }
+            if self.fuse_active {
+                self.unfused_inflight[thread] += 1;
+            }
             sched.at(done, Event::DmaComplete(job));
         }
     }
@@ -996,6 +1044,11 @@ impl Testbed {
             (j.pkt, j.thread as usize)
         };
         self.window_payload += self.store.get(pkt).payload_bytes as u64;
+        if self.fuse_active {
+            // This job was counted as a fusion blocker at launch; its
+            // core claim happens right here, so the thread may fuse again.
+            self.unfused_inflight[thread] -= 1;
+        }
 
         // Step 7: a dedicated receiver core processes the packet (strict
         // IOMMU mode adds the unmap/invalidate work to the per-packet
@@ -1006,12 +1059,59 @@ impl Testbed {
         sched.at(done, Event::CpuDone(job));
     }
 
+    /// Fused DMA chain: the DMA retired at `now` and the receiver core —
+    /// reserved for this packet at launch — finishes at
+    /// `now + per_pkt_cost`. Credits return exactly as a `DmaComplete`
+    /// would return them, then the CPU-done tail runs with the reserved
+    /// completion instant as its logical timestamp. `core_free_at` was
+    /// already advanced at launch and must not be touched here.
+    fn handle_dma_chain<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        job: DmaRef,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        self.credits.release_write(self.pkt_credits);
+        self.kick_dma_launch(sched);
+        self.dma_chain_body(now, job, sched);
+    }
+
+    /// The credit-independent tail of a fused chain (the batched path
+    /// releases a whole run's credits in one update, then replays these).
+    fn dma_chain_body<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        job: DmaRef,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        self.window_payload += self.store.get(self.dma.get(job).pkt).payload_bytes as u64;
+        let cpu_done = now + self.per_pkt_cost;
+        self.cpu_done_body(cpu_done, job, sched);
+    }
+
     fn handle_cpu_done<Q: Queue<Event>>(
         &mut self,
         now: SimTime,
         job: DmaRef,
         sched: &mut Scheduler<Event, Q>,
     ) {
+        self.cpu_done_body(now, job, sched);
+    }
+
+    /// Receiver-core completion at logical time `done_at`. Dispatched as
+    /// its own `CpuDone` event (`done_at == now`) on the unfused path, or
+    /// inline from a fused chain — where the engine clock still reads the
+    /// DMA-retire instant and `done_at` is the core's reserved finish
+    /// time, strictly in the future. Everything time-stamped here (stage
+    /// decomposition, telemetry, the ACK's return-path departure) uses
+    /// `done_at`, so both paths agree on when processing finished.
+    fn cpu_done_body<Q: Queue<Event>>(
+        &mut self,
+        done_at: SimTime,
+        job: DmaRef,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        let now = done_at;
         // The packet's host lifecycle ends here: both slab entries retire
         // (free returns the final value by copy), and only the ACK —
         // allocated below — survives into the return path.
@@ -1154,8 +1254,11 @@ impl Testbed {
         let jitter =
             SimDuration::from_nanos(self.rng.next_below(self.cfg.ack_jitter.as_nanos().max(1)));
         let back = self.cfg.hop_propagation * 2 + SimDuration::from_micros(1) + jitter;
-        sched.after(
-            back,
+        // Anchored at `done_at`, not the engine clock: a fused chain runs
+        // this body at the DMA-retire instant but the ACK leaves when the
+        // core finishes.
+        sched.at(
+            now + back,
             Event::AckToSender {
                 flow: f as u32,
                 ack: self.store.alloc(ack),
@@ -1492,6 +1595,7 @@ impl World for Testbed {
             Event::DmaLaunch => self.handle_dma_launch(now, sched),
             Event::DmaComplete(j) => self.handle_dma_complete(now, j, sched),
             Event::CpuDone(j) => self.handle_cpu_done(now, j, sched),
+            Event::DmaChain(j) => self.handle_dma_chain(now, j, sched),
             Event::AckToSender {
                 flow,
                 ack,
@@ -1556,6 +1660,27 @@ impl World for Testbed {
                         self.dma_complete_body(now, job, sched);
                     }
                 }
+                Event::DmaChain(job) => {
+                    let start = i;
+                    while i < events.len() && matches!(events[i], Event::DmaChain(_)) {
+                        i += 1;
+                    }
+                    if i - start == 1 {
+                        self.handle_dma_chain(now, job, sched);
+                        continue;
+                    }
+                    // Same shape as the DmaComplete run: bulk credit
+                    // return, one kick, then the fused bodies in order.
+                    self.credits
+                        .release_writes(self.pkt_credits, (i - start) as u32);
+                    self.kick_dma_launch(sched);
+                    for ev in &events[start..i] {
+                        let Event::DmaChain(job) = *ev else {
+                            unreachable!()
+                        };
+                        self.dma_chain_body(now, job, sched);
+                    }
+                }
                 ev => {
                     i += 1;
                     self.handle(now, ev, sched);
@@ -1593,9 +1718,10 @@ impl Simulation {
     /// observational: a traced run returns bit-identical [`RunMetrics`]
     /// to an untraced one.
     pub fn with_trace(cfg: TestbedConfig, trace: TraceConfig) -> Self {
+        let res = cfg.resolution;
         let mut testbed = Testbed::new(cfg);
         testbed.set_trace(trace);
-        let mut engine = Engine::new(testbed);
+        let mut engine = Engine::with_queue_resolution(testbed, res);
         engine.enable_profiling();
         engine.stall_limit = Some(STALL_LIMIT);
         let Engine { world, sched, .. } = &mut engine;
@@ -1614,8 +1740,12 @@ impl Simulation<hostcc_sim::BinaryHeapQueue<Event>> {
 
 impl<Q: Queue<Event>> Simulation<Q> {
     /// Build and start a testbed simulation over queue implementation `Q`.
+    /// The event queue quantises timestamps to `cfg.resolution` at push,
+    /// so coarse-time runs coalesce events onto shared wheel slots no
+    /// matter which queue backs the engine.
     pub fn with_queue(cfg: TestbedConfig) -> Self {
-        let mut engine = Engine::with_queue(Testbed::new(cfg));
+        let res = cfg.resolution;
+        let mut engine = Engine::with_queue_resolution(Testbed::new(cfg), res);
         engine.stall_limit = Some(STALL_LIMIT);
         let Engine { world, sched, .. } = &mut engine;
         world.start(sched);

@@ -43,4 +43,4 @@ pub use wheel::TimingWheel;
 /// The engine's default event queue: the timing wheel.
 pub type EventQueue<E> = TimingWheel<E>;
 pub use stats::{Ewma, RateMeter, Running, TimeSeries};
-pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};
+pub use time::{Resolution, SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

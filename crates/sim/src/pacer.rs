@@ -1,7 +1,7 @@
 //! Rate pacing primitives: a byte-granularity token bucket and a serialised
 //! link gate, both driven by simulation time.
 
-use crate::time::{SimDuration, SimTime};
+use crate::time::{Resolution, SimDuration, SimTime};
 
 /// Token bucket refilled continuously at `rate` bytes/sec with a burst cap.
 ///
@@ -13,6 +13,10 @@ pub struct TokenBucket {
     burst: f64,    // max accumulated tokens, bytes
     tokens: f64,
     last: SimTime,
+    /// Grant wake-up times are rounded up to this grid (identity at the
+    /// default exact resolution); pacer delays are already estimates, so
+    /// coarse-time runs coalesce them onto wheel slots.
+    res: Resolution,
 }
 
 impl TokenBucket {
@@ -26,7 +30,14 @@ impl TokenBucket {
             burst: burst_bytes,
             tokens: burst_bytes,
             last: SimTime::ZERO,
+            res: Resolution::EXACT,
         }
+    }
+
+    /// Quantise future grant-ready times up to `res` (the strict-progress
+    /// contract is preserved: rounding up can only move a wake-up later).
+    pub fn set_resolution(&mut self, res: Resolution) {
+        self.res = res;
     }
 
     /// Change the fill rate (tokens already accrued are kept, capped at burst).
@@ -74,7 +85,7 @@ impl TokenBucket {
             } else {
                 wait
             };
-            let ready = now + wait;
+            let ready = self.res.ceil_time(now + wait);
             debug_assert!(ready > now, "pacer wakeups must advance time");
             Err(ready)
         }
@@ -89,6 +100,11 @@ pub struct SerialLink {
     bytes_per_sec: f64,
     free_at: SimTime,
     busy: SimDuration,
+    /// Serialisation completion times are rounded up to this grid
+    /// (identity at the default exact resolution). `for_bytes` already
+    /// rounds the true transfer time up to whole nanoseconds, so a coarse
+    /// grid is the same approximation, one knob wider.
+    res: Resolution,
 }
 
 impl SerialLink {
@@ -99,7 +115,13 @@ impl SerialLink {
             bytes_per_sec,
             free_at: SimTime::ZERO,
             busy: SimDuration::ZERO,
+            res: Resolution::EXACT,
         }
+    }
+
+    /// Quantise serialisation completion times up to `res`.
+    pub fn set_resolution(&mut self, res: Resolution) {
+        self.res = res;
     }
 
     /// Serialisation rate, bytes/sec.
@@ -115,7 +137,9 @@ impl SerialLink {
         } else {
             self.free_at
         };
-        let ser = SimDuration::for_bytes(bytes, self.bytes_per_sec);
+        let ser = self
+            .res
+            .ceil_duration(SimDuration::for_bytes(bytes, self.bytes_per_sec));
         self.busy += ser;
         self.free_at = start + ser;
         self.free_at
@@ -211,6 +235,30 @@ mod tests {
         let d3 = l.transmit(SimTime::from_nanos(10_000), 500);
         assert_eq!(d3.as_nanos(), 10_500);
         assert_eq!(l.busy_time().as_nanos(), 2500);
+    }
+
+    #[test]
+    fn coarse_resolution_quantises_grants_and_serialisation() {
+        let res = Resolution::from_nanos(64).unwrap();
+        // Token bucket: the ready time rounds up to the grid and stays
+        // strictly after `now`.
+        let mut tb = TokenBucket::new(1e9, 4096.0);
+        tb.set_resolution(res);
+        let t0 = SimTime::ZERO;
+        assert!(tb.try_consume(t0, 4096).is_ok());
+        match tb.try_consume(t0, 100) {
+            // 100 ns deficit → next 64 ns boundary at/after 100 = 128.
+            Err(ready) => assert_eq!(ready.as_nanos(), 128),
+            Ok(()) => panic!("should pace"),
+        }
+        assert!(tb.try_consume(SimTime::from_nanos(128), 100).is_ok());
+        // Serial link: per-item serialisation rounds up, so back-to-back
+        // completions stay on the grid without compounding drift.
+        let mut l = SerialLink::new(1e9);
+        l.set_resolution(res);
+        assert_eq!(l.transmit(SimTime::ZERO, 1000).as_nanos(), 1024);
+        assert_eq!(l.transmit(SimTime::ZERO, 1000).as_nanos(), 2048);
+        assert_eq!(l.busy_time().as_nanos(), 2048);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! Both are bit-for-bit deterministic: for any interleaving of pushes and
 //! pops, they return the same events in the same order.
 
-use crate::time::SimTime;
+use crate::time::{Resolution, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -23,8 +23,18 @@ use std::collections::BinaryHeap;
 /// min-priority queue over `(SimTime, E)` with FIFO ordering for equal
 /// timestamps.
 pub trait Queue<E> {
-    /// An empty queue.
-    fn new() -> Self;
+    /// An empty queue at exact (1 ns) resolution.
+    fn new() -> Self
+    where
+        Self: Sized,
+    {
+        Self::with_resolution(Resolution::EXACT)
+    }
+
+    /// An empty queue that quantises event timestamps *up* to the given
+    /// resolution grid at push time. [`Resolution::EXACT`] must behave
+    /// identically to [`new`](Queue::new).
+    fn with_resolution(res: Resolution) -> Self;
 
     /// Schedule `event` to fire at `time`.
     fn push(&mut self, time: SimTime, event: E);
@@ -103,6 +113,9 @@ impl<E> Ord for Entry<E> {
 /// binary heap with an insertion-sequence tie-break.
 pub struct BinaryHeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Timestamps are rounded up to this grid at push time (identity at
+    /// the default exact resolution), mirroring the timing wheel.
+    res: Resolution,
     next_seq: u64,
     popped: u64,
 }
@@ -114,10 +127,16 @@ impl<E> Default for BinaryHeapQueue<E> {
 }
 
 impl<E> BinaryHeapQueue<E> {
-    /// An empty queue.
+    /// An empty queue at exact (1 ns) resolution.
     pub fn new() -> Self {
+        Self::with_resolution(Resolution::EXACT)
+    }
+
+    /// An empty queue quantising timestamps up to `res`.
+    pub fn with_resolution(res: Resolution) -> Self {
         BinaryHeapQueue {
             heap: BinaryHeap::new(),
+            res,
             next_seq: 0,
             popped: 0,
         }
@@ -125,22 +144,21 @@ impl<E> BinaryHeapQueue<E> {
 
     /// An empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BinaryHeapQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            popped: 0,
-        }
+        let mut q = Self::new();
+        q.heap.reserve(cap);
+        q
     }
 }
 
 impl<E> Queue<E> for BinaryHeapQueue<E> {
-    fn new() -> Self {
-        BinaryHeapQueue::new()
+    fn with_resolution(res: Resolution) -> Self {
+        BinaryHeapQueue::with_resolution(res)
     }
 
     fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let time = self.res.ceil_time(time);
         self.heap.push(Entry { time, seq, event });
     }
 
@@ -384,5 +402,72 @@ mod tests {
         assert_eq!(per_event.pop(), None);
         assert_eq!(per_event.scheduled_total(), slot_drain.scheduled_total());
         assert_eq!(per_event.dispatched_total(), slot_drain.dispatched_total());
+    }
+
+    /// Randomised three-way differential test for coarse resolution: the
+    /// 64 ns wheel, the 64 ns heap, and an exact 1 ns wheel fed
+    /// pre-quantised timestamps must produce identical `(time, event)`
+    /// sequences — same dispatch counts, FIFO/seq order preserved within
+    /// each quantised slot — across all three tiers (near ring, far ring,
+    /// overflow heap).
+    #[test]
+    fn coarse_wheel_heap_and_prequantised_exact_wheel_agree() {
+        use crate::rng::SimRng;
+        use crate::time::Resolution;
+        let res = Resolution::from_nanos(64).unwrap();
+        let mut rng = SimRng::new(0xC0A2_5E64);
+        let mut heap: BinaryHeapQueue<u32> = BinaryHeapQueue::with_resolution(res);
+        let mut coarse: TimingWheel<u32> = TimingWheel::with_resolution(res);
+        let mut exact: TimingWheel<u32> = TimingWheel::new();
+        let mut buf: Vec<u32> = Vec::new();
+        let mut now = 0u64;
+        let mut id = 0u32;
+        for _ in 0..200_000 {
+            if rng.chance(0.55) || heap.is_empty() {
+                let delay = match rng.next_below(10) {
+                    0 => 0,
+                    1..=5 => rng.next_below(2_000),
+                    6 | 7 => rng.next_below(200_000),
+                    8 => rng.next_below(20_000_000),
+                    _ => rng.next_below(200_000_000), // overflow-heap tier
+                };
+                let t = SimTime::from_nanos(now + delay);
+                heap.push(t, id);
+                coarse.push(t, id);
+                // The exact wheel is the semantic reference: quantising
+                // at push time must equal quantising before the push.
+                exact.push(res.ceil_time(t), id);
+                id += 1;
+            } else {
+                buf.clear();
+                let t = coarse.pop_slot(&mut buf).expect("queue is non-empty");
+                assert_eq!(t.as_nanos() % 64, 0, "coarse pops land on the grid");
+                for &v in &buf {
+                    assert_eq!(heap.pop(), Some((t, v)), "coarse wheel vs heap diverged");
+                    assert_eq!(
+                        exact.pop(),
+                        Some((t, v)),
+                        "coarse wheel vs pre-quantised exact wheel diverged"
+                    );
+                }
+                now = t.as_nanos();
+            }
+        }
+        assert_eq!(coarse.peek_time(), heap.peek_time());
+        assert_eq!(coarse.peek_time(), exact.peek_time());
+        loop {
+            buf.clear();
+            let Some(t) = coarse.pop_slot(&mut buf) else {
+                break;
+            };
+            for &v in &buf {
+                assert_eq!(heap.pop(), Some((t, v)));
+                assert_eq!(exact.pop(), Some((t, v)));
+            }
+        }
+        assert_eq!(heap.pop(), None);
+        assert_eq!(coarse.scheduled_total(), heap.scheduled_total());
+        assert_eq!(coarse.dispatched_total(), heap.dispatched_total());
+        assert_eq!(coarse.dispatched_total(), exact.dispatched_total());
     }
 }

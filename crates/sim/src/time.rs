@@ -185,6 +185,88 @@ impl SimDuration {
     }
 }
 
+/// Timestamp granularity for the event queue and the latency terms that
+/// feed it.
+///
+/// All simulation arithmetic stays in exact nanoseconds; a `Resolution`
+/// only controls the *grid* that event dispatch instants (and the
+/// serialisation/grant boundaries that produce them) are rounded **up**
+/// to. At [`Resolution::EXACT`] (1 ns, the default) every rounding is the
+/// identity and behaviour is bit-for-bit unchanged. At a coarse
+/// resolution (64 ns by default in the coarse-time scenarios) events with
+/// nearby timestamps land on the same grid instant, so the timing wheel's
+/// slot-drain batching genuinely fans out.
+///
+/// Resolutions are powers of two so quantisation is a shift/mask, and so
+/// the hierarchical wheel's slot widths stay power-of-two aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resolution {
+    /// log2 of the grid step in nanoseconds.
+    shift: u32,
+}
+
+impl Default for Resolution {
+    fn default() -> Self {
+        Resolution::EXACT
+    }
+}
+
+impl Resolution {
+    /// Exact 1 ns resolution: every quantisation is the identity.
+    pub const EXACT: Resolution = Resolution { shift: 0 };
+
+    /// A resolution of `ns` nanoseconds. `ns` must be a power of two
+    /// (1, 2, 4, … 65536); returns `None` otherwise.
+    pub const fn from_nanos(ns: u64) -> Option<Resolution> {
+        if ns == 0 || !ns.is_power_of_two() || ns > 65_536 {
+            return None;
+        }
+        Some(Resolution {
+            shift: ns.trailing_zeros(),
+        })
+    }
+
+    /// The grid step in nanoseconds.
+    #[inline]
+    pub const fn nanos(self) -> u64 {
+        1 << self.shift
+    }
+
+    /// log2 of the grid step.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        self.shift
+    }
+
+    /// Whether this is the exact 1 ns grid (all quantisation a no-op).
+    #[inline]
+    pub const fn is_exact(self) -> bool {
+        self.shift == 0
+    }
+
+    /// Round a time **up** to the grid. Rounding up (never down) keeps
+    /// every quantised latency conservative: a transfer can finish late
+    /// by at most one grid step, never early.
+    #[inline]
+    pub const fn ceil_time(self, t: SimTime) -> SimTime {
+        let mask = (1u64 << self.shift) - 1;
+        SimTime(t.0.saturating_add(mask) & !mask)
+    }
+
+    /// Round a duration **up** to the grid.
+    #[inline]
+    pub const fn ceil_duration(self, d: SimDuration) -> SimDuration {
+        let mask = (1u64 << self.shift) - 1;
+        SimDuration(d.0.saturating_add(mask) & !mask)
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.nanos())
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
@@ -347,5 +429,48 @@ mod tests {
         let d = SimDuration::from_nanos(10);
         assert_eq!(d.mul_f64(1.25).as_nanos(), 13); // 12.5 rounds to 13 (round half away)
         assert_eq!(d.mul_f64(0.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn resolution_construction() {
+        assert!(Resolution::EXACT.is_exact());
+        assert_eq!(Resolution::EXACT.nanos(), 1);
+        assert_eq!(Resolution::default(), Resolution::EXACT);
+        let r = Resolution::from_nanos(64).unwrap();
+        assert_eq!(r.nanos(), 64);
+        assert_eq!(r.shift(), 6);
+        assert!(!r.is_exact());
+        // Non-powers-of-two and degenerate steps are rejected.
+        assert!(Resolution::from_nanos(0).is_none());
+        assert!(Resolution::from_nanos(3).is_none());
+        assert!(Resolution::from_nanos(100).is_none());
+        assert!(Resolution::from_nanos(1 << 17).is_none());
+        assert!(Resolution::from_nanos(1).is_some());
+        assert!(Resolution::from_nanos(65_536).is_some());
+    }
+
+    #[test]
+    fn resolution_rounds_up_to_grid() {
+        let r = Resolution::from_nanos(64).unwrap();
+        assert_eq!(r.ceil_time(SimTime::from_nanos(0)).as_nanos(), 0);
+        assert_eq!(r.ceil_time(SimTime::from_nanos(1)).as_nanos(), 64);
+        assert_eq!(r.ceil_time(SimTime::from_nanos(64)).as_nanos(), 64);
+        assert_eq!(r.ceil_time(SimTime::from_nanos(65)).as_nanos(), 128);
+        assert_eq!(
+            r.ceil_duration(SimDuration::from_nanos(100)).as_nanos(),
+            128
+        );
+        // Exact resolution is the identity everywhere.
+        for ns in [0u64, 1, 63, 64, 12345] {
+            assert_eq!(
+                Resolution::EXACT
+                    .ceil_time(SimTime::from_nanos(ns))
+                    .as_nanos(),
+                ns
+            );
+        }
+        // Saturates instead of wrapping near the top of the range:
+        // u64::MAX rounded down to the 64 ns grid.
+        assert_eq!(r.ceil_time(SimTime::MAX).as_nanos(), !63);
     }
 }

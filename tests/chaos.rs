@@ -236,6 +236,45 @@ fn chaos_runs_are_batching_invariant() {
     }
 }
 
+/// The batching-invariance contract holds at coarse time too: the 64 ns
+/// grid quantises every fault window edge and storm tick onto wheel
+/// slots (bigger slot populations, more batch-path coverage), and chain
+/// fusion auto-disables under a fault plan (CorePreempt rewrites
+/// `core_free_at`, which would invalidate launch-time reservations) — so
+/// batched and per-event dispatch must still agree bit for bit.
+#[test]
+fn coarse_chaos_runs_are_batching_invariant() {
+    let plan = RunPlan::quick();
+    for (name, cfg) in [
+        ("coarse-chaos-replay", scenarios::chaos_replay()),
+        ("coarse-chaos-flap", scenarios::chaos_flap()),
+        ("coarse-chaos-invalidate", scenarios::chaos_invalidate()),
+    ] {
+        let cfg = scenarios::with_coarse_time(cfg);
+        let mut batched = Simulation::new(cfg.clone());
+        let mb = batched
+            .try_run(plan.warmup, plan.measure)
+            .unwrap_or_else(|e| panic!("{name} (batched) must not stall: {e}"));
+        let mut per_event = Simulation::new(cfg);
+        per_event.set_batched(false);
+        let mp = per_event
+            .try_run(plan.warmup, plan.measure)
+            .unwrap_or_else(|e| panic!("{name} (per-event) must not stall: {e}"));
+        assert_eq!(
+            batched.dispatched_total(),
+            per_event.dispatched_total(),
+            "{name}: dispatched-event counts diverged"
+        );
+        assert_eq!(
+            mb.faults, mp.faults,
+            "{name}: fault summary (counters/recovery verdict) diverged"
+        );
+        let jb = metrics_json(&mb, &batched.world().counters, None);
+        let jp = metrics_json(&mp, &per_event.world().counters, None);
+        assert_eq!(jb, jp, "{name}: metrics JSON diverged");
+    }
+}
+
 /// Chaos runs are bit-for-bit reproducible: same seed, same plan, same
 /// metrics — faults included.
 #[test]

@@ -263,6 +263,148 @@ fn random_scenarios_are_batching_invariant() {
     }
 }
 
+/// The six coarse-time goldens: the same engine-bench scenarios as the
+/// exact goldens above, run through `scenarios::with_coarse_time` (64 ns
+/// grid + chain fusion). Coarse time is an explicit opt-in that trades
+/// sub-slot timing for dispatch batching, so it pins its *own* digests —
+/// these values were captured when quantisation moved to the event-queue
+/// boundary (components keep exact internal clocks, so coarse links no
+/// longer cap at one packet per grid step) and any drift from them is a
+/// regression. Each scenario still runs with
+/// batching on and off against the same digest: quantisation must not
+/// break the batching-invariance contract.
+fn coarse(cfg: TestbedConfig) -> TestbedConfig {
+    scenarios::with_coarse_time(cfg)
+}
+
+fn fleet_cfg(host: usize) -> TestbedConfig {
+    let mut cfg = scenarios::with_mixed_reads(scenarios::baseline());
+    cfg.seed = 0xF1EE7 + host as u64;
+    cfg.receiver_threads = 8 + 4 * (host as u32 % 2);
+    cfg.antagonist_cores = 4 * (host as u32 % 3);
+    cfg
+}
+
+#[test]
+fn golden_coarse_incast_and_antagonist_sweep() {
+    assert_golden(
+        "coarse_incast",
+        coarse(scenarios::fig3(12, true)),
+        (
+            335864,
+            26673,
+            (106697, 42618, 156067),
+            0xfb2869de1addf07a,
+            2127,
+        ),
+    );
+    assert_golden(
+        "coarse_antagonist_0",
+        coarse(scenarios::fig6(0, true)),
+        (
+            335864,
+            26673,
+            (106697, 42618, 156067),
+            0xfb2869de1addf07a,
+            2127,
+        ),
+    );
+    assert_golden(
+        "coarse_antagonist_8",
+        coarse(scenarios::fig6(8, true)),
+        (
+            240104,
+            19852,
+            (79437, 31715, 116302),
+            0xc3e142c295a45b7a,
+            2112,
+        ),
+    );
+    assert_golden(
+        "coarse_antagonist_15",
+        coarse(scenarios::fig6(15, true)),
+        (
+            201092,
+            16612,
+            (66468, 22861, 83499),
+            0xbf0947e23acd7be0,
+            2108,
+        ),
+    );
+}
+
+#[test]
+fn golden_coarse_cluster_fleet() {
+    let goldens = [
+        (379320, 28061, (112139, 0, 0), 0xfbbba3d539451854, 1978),
+        (
+            340579,
+            25356,
+            (101455, 39808, 145584),
+            0xb0d246104ffae67e,
+            2129,
+        ),
+    ];
+    for (host, golden) in goldens.into_iter().enumerate() {
+        assert_golden(
+            &format!("coarse_fleet_{host}"),
+            coarse(fleet_cfg(host)),
+            golden,
+        );
+    }
+}
+
+/// Re-pinning helper for the coarse goldens (run with
+/// `cargo test -p hostcc-integration-tests capture_coarse -- --ignored --nocapture`
+/// after an intentional coarse-path change, then paste the printed tuples
+/// into the tests above).
+#[test]
+#[ignore]
+fn capture_coarse_goldens() {
+    let plan = RunPlan::quick();
+    let mut cases: Vec<(String, TestbedConfig)> = vec![
+        ("coarse_incast".into(), coarse(scenarios::fig3(12, true))),
+        (
+            "coarse_antagonist_0".into(),
+            coarse(scenarios::fig6(0, true)),
+        ),
+        (
+            "coarse_antagonist_8".into(),
+            coarse(scenarios::fig6(8, true)),
+        ),
+        (
+            "coarse_antagonist_15".into(),
+            coarse(scenarios::fig6(15, true)),
+        ),
+    ];
+    for host in 0..2 {
+        cases.push((format!("coarse_fleet_{host}"), coarse(fleet_cfg(host))));
+    }
+    for (name, cfg) in cases {
+        let mut sim = Simulation::new(cfg);
+        let m = sim.run(plan.warmup, plan.measure);
+        let json = metrics_json(&m, &sim.world().counters, None);
+        println!(
+            "{name}: ({}, {}, ({}, {}, {}), {:#x}, {}),",
+            sim.dispatched_total(),
+            m.delivered_packets,
+            m.iotlb_lookups,
+            m.iotlb_misses,
+            m.walk_memory_accesses,
+            fnv64(json.as_bytes()),
+            json.len()
+        );
+    }
+}
+
+/// Coarse-time runs keep the queue-equivalence contract too: the
+/// hierarchical wheel at a 64 ns slot width and the binary heap with the
+/// same push-side quantisation must dispatch identically.
+#[test]
+fn coarse_incast_scenario_is_queue_equivalent() {
+    assert_equivalent("coarse-incast", coarse(shrink(scenarios::baseline())));
+}
+
 #[test]
 fn incast_scenario_is_queue_equivalent() {
     assert_equivalent("incast", shrink(scenarios::baseline()));

@@ -73,6 +73,31 @@ fn sample_stream_is_bit_identical_across_dispatch_modes_and_reruns() {
     assert_eq!(m_b.telemetry, m_r.telemetry);
 }
 
+/// Same contract at coarse time: with the 64 ns grid and chain fusion on,
+/// telemetry ticks land on quantised instants identical in both dispatch
+/// modes, so the sample stream (and the episode/attribution summary
+/// derived from it) stays bit-identical batched vs per-event and across
+/// reruns. Fused chains must not perturb sampling either — `on_packet`
+/// records the same host-delay/cpu decomposition the unfused path would.
+#[test]
+fn coarse_sample_stream_is_bit_identical_across_dispatch_modes() {
+    let tcfg = TelemetryConfig::enabled();
+    let cfg = scenarios::with_coarse_time(small());
+    let (m_b, s_b) = run_telemetry(cfg.clone(), tcfg, true);
+    let (m_p, s_p) = run_telemetry(cfg.clone(), tcfg, false);
+    let (m_r, s_r) = run_telemetry(cfg, tcfg, true);
+    assert!(!s_b.is_empty());
+    // Every sampling instant sits on the 64 ns grid.
+    assert!(
+        s_b.iter().all(|s| s.t_ns % 64 == 0),
+        "coarse-time telemetry ticks must land on the quantised grid"
+    );
+    assert_eq!(s_b, s_p, "batched vs per-event sample streams diverged");
+    assert_eq!(s_b, s_r, "same-seed reruns diverged");
+    assert_eq!(m_b.telemetry, m_p.telemetry);
+    assert_eq!(m_b.telemetry, m_r.telemetry);
+}
+
 /// The headline acceptance test: the paper's §2 blind spot — host drops
 /// while the access link looks uncongested — must yield at least one
 /// detected episode attributed to a host-side cause. The config is
