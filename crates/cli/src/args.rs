@@ -88,6 +88,10 @@ const VALUE_FLAGS: &[&str] = &[
     "telemetry-out",
     "telemetry-interval",
     "resolution",
+    "hosts",
+    "shards",
+    "fanin",
+    "fabric-us",
 ];
 
 /// Parse a raw argument vector (excluding argv[0]).

@@ -12,6 +12,7 @@ mod registry;
 
 use args::{parse, ArgError, ParsedArgs};
 use hostcc::experiment::{sweep as sweep_sims, RunPlan};
+use hostcc::fleet::{Fleet, FleetConfig};
 use hostcc::report::{f, pct, Table};
 use hostcc::{
     chrome_trace_json, metrics_json, CcKind, FaultKind, RunMetrics, Simulation, TelemetryConfig,
@@ -51,6 +52,7 @@ fn dispatch(argv: Vec<String>) -> Result<(), String> {
         }
         "run" => cmd_run(&parsed).map_err(|e| e.to_string()),
         "sweep" => cmd_sweep(&parsed).map_err(|e| e.to_string()),
+        "fleet" => cmd_fleet(&parsed).map_err(|e| e.to_string()),
         other => Err(format!("unknown command `{other}`; try `hostcc help`")),
     }
 }
@@ -63,6 +65,7 @@ fn print_help() {
          \u{20}  hostcc list\n\
          \u{20}  hostcc run <scenario> [overrides]\n\
          \u{20}  hostcc sweep <scenario> --threads A..B [overrides]\n\
+         \u{20}  hostcc fleet [--hosts N] [--shards N] [overrides]\n\
          \n\
          OVERRIDES:\n\
          \u{20}  --threads N         receiver cores\n\
@@ -99,6 +102,18 @@ fn print_help() {
          \u{20}  --timeline NS       record time series every NS nanoseconds\n\
          \u{20}  --json              print a JSON metrics snapshot (stage\n\
          \u{20}                      breakdown, counters, engine events/sec)\n\
+         \n\
+         FLEET (fleet command):\n\
+         \u{20}  --hosts N           coupled hosts (default 8)\n\
+         \u{20}  --shards N          parallel-engine worker threads\n\
+         \u{20}                      (default 1; any value gives\n\
+         \u{20}                      bit-identical metrics)\n\
+         \u{20}  --fanin N           remote flows terminating per host\n\
+         \u{20}                      from distinct neighbours (default 2)\n\
+         \u{20}  --fabric-us N       inter-host fabric latency in µs —\n\
+         \u{20}                      the engine's lookahead (default 8)\n\
+         \u{20}  (per-host overrides --threads/--senders/etc. shape the\n\
+         \u{20}   base template every host derives from)\n\
          \n\
          TELEMETRY (run command):\n\
          \u{20}  --telemetry-out FILE     stream one JSONL line per sample\n\
@@ -344,6 +359,61 @@ fn cmd_run(p: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Build a fleet configuration from the fleet command's flags: topology
+/// knobs come from `--hosts/--shards/--fanin/--fabric-us`, the per-host
+/// template from the same override flags `run` understands.
+fn fleet_config_from(p: &ParsedArgs) -> Result<FleetConfig, String> {
+    let mut cfg = FleetConfig::coupled_fleet();
+    cfg.hosts = p
+        .get_parsed("hosts", cfg.hosts, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.shards = p
+        .get_parsed("shards", cfg.shards, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.fanin = p
+        .get_parsed("fanin", cfg.fanin, "integer")
+        .map_err(|e| e.to_string())?;
+    let fabric_us: u64 = p
+        .get_parsed("fabric-us", 8, "integer (µs)")
+        .map_err(|e| e.to_string())?;
+    cfg.fabric_latency = SimDuration::from_micros(fabric_us);
+    cfg.seed = p
+        .get_parsed("seed", cfg.seed, "integer")
+        .map_err(|e| e.to_string())?;
+    let mut base_overrides = p.clone();
+    base_overrides.flags.remove("seed"); // fleet seed, not per-host seed
+    apply_overrides(&mut cfg.base, &base_overrides).map_err(|e| e.to_string())?;
+    apply_faults(&mut cfg.base, p)?;
+    Ok(cfg)
+}
+
+fn cmd_fleet(p: &ParsedArgs) -> Result<(), String> {
+    let cfg = fleet_config_from(p)?;
+    let plan = plan_from(p).map_err(|e| e.to_string())?;
+    let mut fleet = Fleet::new(&cfg).map_err(|e| e.to_string())?;
+    let per_host = fleet.run(plan).map_err(|e| e.to_string())?;
+    let rows: Vec<(String, &RunMetrics)> = per_host
+        .iter()
+        .enumerate()
+        .map(|(h, m)| (format!("host{h}"), m))
+        .collect();
+    let t = metrics_table(&rows);
+    if p.switch("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+        let total_gbps: f64 = per_host.iter().map(|m| m.app_throughput_gbps()).sum();
+        println!(
+            "fleet: {} hosts, {} shards, {} epochs, {:.1} Gbps aggregate",
+            cfg.hosts,
+            fleet.shards(),
+            fleet.epochs(),
+            total_gbps
+        );
+    }
+    Ok(())
+}
+
 /// Parse `A..B` (inclusive) range syntax.
 fn parse_range(s: &str) -> Option<(u32, u32)> {
     let (a, b) = s.split_once("..")?;
@@ -584,6 +654,38 @@ mod tests {
         assert!(lines[0].contains("\"t_ns\":"));
         assert!(lines[0].contains("\"buffer_frac\":"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fleet_flags_build_config() {
+        let p = parse(
+            "fleet --hosts 4 --shards 2 --fanin 1 --fabric-us 12 --seed 77 --threads 3"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let cfg = fleet_config_from(&p).unwrap();
+        assert_eq!(cfg.hosts, 4);
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.fanin, 1);
+        assert_eq!(cfg.fabric_latency, SimDuration::from_micros(12));
+        assert_eq!(cfg.seed, 77);
+        // --threads shapes the per-host template; --seed stays at the
+        // fleet level (per-host seeds derive from it).
+        assert_eq!(cfg.base.receiver_threads, 3);
+        assert_ne!(cfg.host_config(0).seed, 77);
+    }
+
+    #[test]
+    fn fleet_rejects_invalid_topologies() {
+        let e = dispatch(
+            "fleet --hosts 2 --fanin 2 --quick"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .unwrap_err();
+        assert!(e.contains("fanin"), "{e}");
     }
 
     #[test]

@@ -72,8 +72,11 @@ pub struct SweepPoint<L> {
 /// Run a set of independent configurations in parallel (one OS thread per
 /// point, bounded by available parallelism) and return results in input
 /// order. Each simulation is single-threaded and deterministic; only the
-/// sweep is parallelised. Workers pull indices from a shared cursor and
-/// write into disjoint slots, all with std primitives.
+/// sweep is parallelised. Workers claim indices from a single atomic
+/// cursor — the only shared-write state — and send `(index, result)`
+/// pairs back over a channel, so there is no per-item lock traffic at
+/// all (the old scheme wrapped every work item and every result slot in
+/// its own `Mutex`).
 ///
 /// Every configuration is validated up front, so a bad point fails fast
 /// before any simulation spins up; a mid-sweep watchdog stall surfaces as
@@ -83,39 +86,54 @@ pub fn sweep<L: Send>(
     plan: RunPlan,
 ) -> Result<Vec<SweepPoint<L>>, RunError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::mpsc;
 
     for (_, cfg) in &points {
         cfg.validate()?;
     }
+    let n = points.len();
     let parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(|p| p.get())
         .unwrap_or(4)
-        .min(points.len().max(1));
-    let work: Vec<Mutex<Option<(usize, L, TestbedConfig)>>> = points
-        .into_iter()
-        .enumerate()
-        .map(|(idx, (label, cfg))| Mutex::new(Some((idx, label, cfg))))
-        .collect();
-    type ResultSlot<L> = Mutex<Option<Result<SweepPoint<L>, RunError>>>;
-    let results: Vec<ResultSlot<L>> = work.iter().map(|_| Mutex::new(None)).collect();
+        .min(n.max(1));
+    let mut labels: Vec<Option<L>> = Vec::with_capacity(n);
+    let mut configs: Vec<TestbedConfig> = Vec::with_capacity(n);
+    for (label, cfg) in points {
+        labels.push(Some(label));
+        configs.push(cfg);
+    }
     let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<RunMetrics, RunError>)>();
     std::thread::scope(|scope| {
         for _ in 0..parallelism {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let configs = &configs;
+            scope.spawn(move || loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(slot) = work.get(idx) else {
+                let Some(cfg) = configs.get(idx) else {
                     break;
                 };
-                let (idx, label, cfg) = slot.lock().unwrap().take().expect("each slot taken once");
-                let outcome = run(cfg, plan).map(|metrics| SweepPoint { label, metrics });
-                *results[idx].lock().unwrap() = Some(outcome);
+                // The receiver outlives the scope, so sends cannot fail.
+                let _ = tx.send((idx, run(cfg.clone(), plan)));
             });
         }
     });
-    results
+    drop(tx);
+    let mut slots: Vec<Option<Result<RunMetrics, RunError>>> = (0..n).map(|_| None).collect();
+    for (idx, outcome) in rx {
+        slots[idx] = Some(outcome);
+    }
+    slots
         .into_iter()
-        .map(|p| p.into_inner().unwrap().expect("all points ran"))
+        .zip(&mut labels)
+        .map(|(slot, label)| {
+            let metrics = slot.expect("all points ran")?;
+            Ok(SweepPoint {
+                label: label.take().expect("each label consumed once"),
+                metrics,
+            })
+        })
         .collect()
 }
 

@@ -1,0 +1,339 @@
+//! Coupled multi-host fleets on the deterministic parallel engine.
+//!
+//! A [`Fleet`] is N [`Testbed`] hosts joined through inter-host fabric
+//! links with a configurable minimum latency — the conservative parallel
+//! engine's lookahead — so cross-host incast and fan-in workloads become
+//! expressible: host `b` receives a remote flow from each of its `fanin`
+//! upstream neighbours `(b+1) % N … (b+fanin) % N`, on top of its own
+//! local sender population. Remote data serialises through the sender's
+//! access link, crosses the fabric, and traverses the destination's
+//! *full* receive datapath (incast switch → NIC buffer → PCIe/IOMMU DMA
+//! → receiver core → fabric ACK), so the paper's host-congestion effects
+//! compose across hosts.
+//!
+//! Determinism: each host's RNG seed derives from the fleet seed through
+//! [`stream_seed`] under [`HOST_SEED_DOMAIN`] — a pure function of
+//! `(fleet_seed, host_id)`. Shard count is *not* an input anywhere in
+//! the build or wiring path, and the parallel engine's epoch/merge rules
+//! are shard-count-invariant, so `RunMetrics`, golden digests and
+//! telemetry streams are bit-identical at any `--shards` value
+//! (`tests/parallel.rs` pins this at 1/2/4/8).
+
+use crate::experiment::RunPlan;
+use hostcc_host::ConfigError;
+use hostcc_host::{FleetHost, RunError, RunMetrics, Simulation, Testbed, TestbedConfig};
+use hostcc_sim::{stream_seed, ParallelEngine, SimDuration, SimTime};
+
+/// Domain constant separating per-host seed derivation from every other
+/// `stream_seed` consumer (per-thread recycling streams use the raw
+/// config seed; fault RNGs use the `0xFA017` stream). XORed into the
+/// fleet seed before the per-host stream split.
+pub const HOST_SEED_DOMAIN: u64 = 0x48_4F_53_54_43_43_u64; // "HOSTCC"
+
+/// A multi-host fleet description: topology + per-host template.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of hosts.
+    pub hosts: u32,
+    /// Fleet-level seed; per-host seeds derive from it via
+    /// [`stream_seed`] under [`HOST_SEED_DOMAIN`].
+    pub seed: u64,
+    /// Worker threads for the parallel engine (1 = serial execution of
+    /// the identical epoch schedule).
+    pub shards: u32,
+    /// Minimum inter-host fabric latency — the engine's lookahead. Must
+    /// be positive; larger values mean longer epochs (more parallelism)
+    /// and slower cross-host control loops, exactly as in real fabrics.
+    pub fabric_latency: SimDuration,
+    /// Remote flows terminating at each host (from that many distinct
+    /// upstream neighbours). 0 = uncoupled hosts.
+    pub fanin: u32,
+    /// Per-host configuration template. `seed` is overwritten per host;
+    /// everything else (including telemetry and fault plans) applies to
+    /// every host, modulated by `heterogeneous`.
+    pub base: TestbedConfig,
+    /// Vary host shapes around the template (receiver threads and
+    /// antagonist load, in a fixed pattern keyed on host id) so the
+    /// fleet reproduces the paper's Fig. 1 spread of host conditions.
+    pub heterogeneous: bool,
+}
+
+impl FleetConfig {
+    /// The default coupled-fleet scenario: 8 heterogeneous hosts in a
+    /// fan-in-2 ring over a 8 µs fabric — every host both serves local
+    /// senders and terminates two remote flows. This is the workload the
+    /// differential suite and the `parallel_fleet` bench entries run.
+    pub fn coupled_fleet() -> Self {
+        FleetConfig {
+            hosts: 8,
+            seed: 0xF1EE7,
+            shards: 1,
+            fabric_latency: SimDuration::from_micros(8),
+            fanin: 2,
+            base: TestbedConfig {
+                senders: 12,
+                receiver_threads: 8,
+                ..TestbedConfig::default()
+            },
+            heterogeneous: true,
+        }
+    }
+
+    /// The configuration host `host` runs, with its derived seed.
+    pub fn host_config(&self, host: u32) -> TestbedConfig {
+        let mut cfg = self.base.clone();
+        cfg.seed = stream_seed(self.seed ^ HOST_SEED_DOMAIN, host as u64);
+        if self.heterogeneous {
+            match host % 4 {
+                1 => {
+                    cfg.receiver_threads += 2;
+                    cfg.antagonist_cores = 2;
+                }
+                2 => cfg.antagonist_cores = 4,
+                3 => cfg.receiver_threads += 4,
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// Check the fleet-level knobs, then every host configuration.
+    pub fn validate(&self) -> Result<(), RunError> {
+        if self.hosts == 0 {
+            return Err(ConfigError::InvalidFleet {
+                reason: "hosts must be at least 1",
+            }
+            .into());
+        }
+        if self.fabric_latency.as_nanos() == 0 {
+            return Err(ConfigError::InvalidFleet {
+                reason: "fabric_latency must be positive (it is the lookahead)",
+            }
+            .into());
+        }
+        if self.fanin > 0 && self.hosts < 2 {
+            return Err(ConfigError::InvalidFleet {
+                reason: "fan-in needs at least 2 hosts",
+            }
+            .into());
+        }
+        if self.fanin >= self.hosts && self.fanin > 0 {
+            return Err(ConfigError::InvalidFleet {
+                reason: "fanin must be smaller than the host count",
+            }
+            .into());
+        }
+        for h in 0..self.hosts {
+            self.host_config(h).validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// A built fleet, ready to run in epoch slices on the parallel engine.
+pub struct Fleet {
+    engine: ParallelEngine<FleetHost>,
+}
+
+impl Fleet {
+    /// Build every host, wire the cross-host flows (in deterministic
+    /// host-id order — wiring is part of the topology, never of the
+    /// execution schedule), and start the simulations.
+    pub fn new(cfg: &FleetConfig) -> Result<Fleet, RunError> {
+        cfg.validate()?;
+        let n = cfg.hosts;
+        let mut testbeds: Vec<Testbed> = (0..n)
+            .map(|h| {
+                let mut tb = Testbed::new(cfg.host_config(h));
+                tb.enable_fabric(h, cfg.fabric_latency);
+                tb
+            })
+            .collect();
+        // Fan-in wiring: host b receives from its next `fanin` neighbours.
+        // The receiver half needs the sender's return address up front, so
+        // the sender's upcoming flow index is read before either side is
+        // allocated.
+        for b in 0..n {
+            for k in 1..=cfg.fanin {
+                let a = (b + k) % n;
+                let thread = (k - 1) % testbeds[b as usize].config().receiver_threads.max(1);
+                let src_flow = testbeds[a as usize].next_remote_flow();
+                let (_, dst_id, frontier) =
+                    testbeds[b as usize].add_remote_receiver(a, src_flow, thread);
+                let got = testbeds[a as usize].add_remote_sender(b, dst_id, frontier);
+                debug_assert_eq!(got, src_flow, "sender slot prediction out of sync");
+            }
+        }
+        let hosts: Vec<FleetHost> = testbeds
+            .into_iter()
+            .map(|tb| FleetHost::new(Simulation::from_testbed(tb)))
+            .collect();
+        Ok(Fleet {
+            engine: ParallelEngine::new(hosts, cfg.shards as usize, cfg.fabric_latency),
+        })
+    }
+
+    /// Warm up, arm every host's metrics at the same instant, measure,
+    /// and snapshot — the fleet analogue of `Simulation::try_run`. A
+    /// tripped per-host watchdog surfaces as that host's
+    /// [`RunError::Stalled`].
+    pub fn run(&mut self, plan: RunPlan) -> Result<Vec<RunMetrics>, RunError> {
+        let t0 = self.now();
+        let t1 = t0 + plan.warmup;
+        self.engine.run_to(t1);
+        self.check_stalls()?;
+        for h in self.engine.hosts_mut() {
+            h.sim_mut().world_mut().arm_metrics(t1);
+        }
+        let t2 = t1 + plan.measure;
+        self.engine.run_to(t2);
+        self.check_stalls()?;
+        Ok(self
+            .engine
+            .hosts_mut()
+            .iter_mut()
+            .map(|h| h.sim_mut().world_mut().snapshot(t2))
+            .collect())
+    }
+
+    fn check_stalls(&mut self) -> Result<(), RunError> {
+        for h in self.engine.hosts_mut() {
+            h.check_stalled()?;
+        }
+        Ok(())
+    }
+
+    /// Current fleet time (all host clocks agree between `run_to` slices).
+    pub fn now(&self) -> SimTime {
+        self.engine
+            .hosts()
+            .first()
+            .map(|h| h.sim().now())
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The hosts, in fleet-id order.
+    pub fn hosts(&self) -> &[FleetHost] {
+        self.engine.hosts()
+    }
+
+    /// Mutable host access (telemetry sinks, per-host inspection).
+    pub fn hosts_mut(&mut self) -> &mut [FleetHost] {
+        self.engine.hosts_mut()
+    }
+
+    /// Advance the whole fleet to an absolute deadline without arming or
+    /// snapshotting anything (bench slices).
+    pub fn run_to(&mut self, deadline: SimTime) -> Result<(), RunError> {
+        self.engine.run_to(deadline);
+        self.check_stalls()
+    }
+
+    /// Events dispatched across all hosts over the fleet's lifetime.
+    pub fn dispatched_total(&self) -> u64 {
+        self.engine
+            .hosts()
+            .iter()
+            .map(|h| h.sim().dispatched_total())
+            .sum()
+    }
+
+    /// Lookahead-bounded epochs executed (shard-count invariant).
+    pub fn epochs(&self) -> u64 {
+        self.engine.epochs()
+    }
+
+    /// Worker-thread count the engine runs on.
+    pub fn shards(&self) -> usize {
+        self.engine.shards()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet(shards: u32) -> FleetConfig {
+        FleetConfig {
+            hosts: 4,
+            shards,
+            base: TestbedConfig {
+                senders: 4,
+                receiver_threads: 2,
+                ..TestbedConfig::default()
+            },
+            ..FleetConfig::coupled_fleet()
+        }
+    }
+
+    #[test]
+    fn coupled_fleet_moves_cross_host_data() {
+        let mut fleet = Fleet::new(&small_fleet(1)).expect("valid fleet");
+        let per_host = fleet
+            .run(RunPlan {
+                warmup: SimDuration::from_millis(1),
+                measure: SimDuration::from_millis(3),
+            })
+            .expect("fleet runs");
+        assert_eq!(per_host.len(), 4);
+        for (h, m) in per_host.iter().enumerate() {
+            assert!(
+                m.delivered_packets > 100,
+                "host {h} delivered {}",
+                m.delivered_packets
+            );
+        }
+        assert!(fleet.epochs() > 0, "coupled hosts must exchange epochs");
+    }
+
+    #[test]
+    fn fleet_is_deterministic_across_shard_counts() {
+        let run = |shards: u32| {
+            let mut fleet = Fleet::new(&small_fleet(shards)).expect("valid fleet");
+            let m = fleet
+                .run(RunPlan {
+                    warmup: SimDuration::from_millis(1),
+                    measure: SimDuration::from_millis(2),
+                })
+                .expect("fleet runs");
+            let per_host: Vec<(u64, u64, u64)> = m
+                .iter()
+                .map(|m| {
+                    (
+                        m.delivered_packets,
+                        m.delivered_payload_bytes,
+                        m.host_drops(),
+                    )
+                })
+                .collect();
+            (per_host, fleet.epochs(), fleet.dispatched_total())
+        };
+        let reference = run(1);
+        assert_eq!(run(2), reference, "2 shards");
+        assert_eq!(run(3), reference, "3 shards");
+    }
+
+    #[test]
+    fn fleet_validation_rejects_bad_topologies() {
+        let mut cfg = small_fleet(1);
+        cfg.fabric_latency = SimDuration::ZERO;
+        assert!(Fleet::new(&cfg).is_err());
+        let mut cfg = small_fleet(1);
+        cfg.fanin = 4; // == hosts
+        assert!(Fleet::new(&cfg).is_err());
+        let mut cfg = small_fleet(1);
+        cfg.hosts = 0;
+        assert!(Fleet::new(&cfg).is_err());
+    }
+
+    #[test]
+    fn shard_count_does_not_change_host_seeds() {
+        // The per-host seed is a pure function of (fleet seed, host id):
+        // shard count appears nowhere in the derivation.
+        let a = small_fleet(1);
+        let b = small_fleet(8);
+        for h in 0..a.hosts {
+            assert_eq!(a.host_config(h).seed, b.host_config(h).seed);
+        }
+    }
+}

@@ -23,6 +23,8 @@
 //!
 //! * [`scenarios`] — one constructor per paper figure/panel;
 //! * [`experiment`] — single runs and parallel sweeps;
+//! * [`fleet`] — coupled multi-host fleets on the deterministic
+//!   parallel engine (shards, lookahead epochs, cross-host fan-in);
 //! * [`model`] — the paper's Little's-law throughput bound (§3.1);
 //! * [`cluster`] — the Fig. 1 fleet scatter;
 //! * [`report`] — text/CSV tables for harness output;
@@ -34,12 +36,14 @@
 
 pub mod cluster;
 pub mod experiment;
+pub mod fleet;
 pub mod model;
 pub mod report;
 pub mod scenarios;
 
 pub use hostcc_host::{
-    BufferRecycling, CcKind, ConfigError, RunError, RunMetrics, Simulation, Testbed, TestbedConfig,
+    BufferRecycling, CcKind, ConfigError, FleetHost, RunError, RunMetrics, Simulation, Testbed,
+    TestbedConfig,
 };
 
 // Fault injection: deterministic chaos plans and their run summaries.

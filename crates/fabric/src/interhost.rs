@@ -1,0 +1,34 @@
+//! Inter-host fabric messages.
+//!
+//! When a fleet of `Testbed` hosts is coupled through the parallel
+//! engine, packets that cross a host boundary travel as self-contained
+//! [`WireMsg`] values inside `hostcc_sim::Envelope`s instead of as
+//! `PacketRef`s into a host-local store ([`Packet`](crate::Packet) is
+//! `Copy`, so the whole header rides along). The inter-host link is
+//! modelled as a fixed minimum latency — the parallel engine's
+//! lookahead — added on top of the sender's local serialisation and
+//! propagation; contention on the *destination* host's access link is
+//! modelled for real, because inbound data is injected at the
+//! destination's switch port and traverses its full NIC/DMA/CPU
+//! datapath.
+
+use crate::Packet;
+
+/// A message crossing an inter-host fabric link.
+#[derive(Debug, Clone, Copy)]
+pub enum WireMsg {
+    /// A data packet arriving at the destination host's switch. `pkt.flow`
+    /// already names the *destination-side* flow (the virtual-sender slot
+    /// allocated by `add_remote_receiver`), so the receive path needs no
+    /// translation.
+    Data(Packet),
+    /// An ACK returning to the sending host.
+    Ack {
+        /// Sender-side flow index the ACK belongs to.
+        flow: u32,
+        /// The ACK packet (echoes `sent_at`, host-delay and ECN state).
+        ack: Packet,
+        /// Receiver-side RPC data frontier, piggybacked like local ACKs.
+        frontier: u64,
+    },
+}

@@ -11,10 +11,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod interhost;
 mod link;
 mod packet;
 mod store;
 
+pub use interhost::WireMsg;
 pub use link::{EnqueueOutcome, Link, SwitchPort};
 pub use packet::{FlowId, Packet, PacketKind, WireFormat};
 pub use store::{GenSlab, PacketRef, PacketStore, SlabRef};

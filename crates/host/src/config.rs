@@ -336,6 +336,12 @@ pub enum ConfigError {
         /// The offending weight.
         weight: f64,
     },
+    /// A fleet-level knob the multi-host builder cannot work with
+    /// (zero hosts, zero inter-host latency, fan-in without peers).
+    InvalidFleet {
+        /// Which constraint was violated.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -354,6 +360,9 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "read_size_mix weight for {bytes}-byte reads must be positive, got {weight}"
                 )
+            }
+            ConfigError::InvalidFleet { reason } => {
+                write!(f, "invalid fleet configuration: {reason}")
             }
         }
     }

@@ -1,0 +1,87 @@
+//! The [`ShardHost`] adapter: one started [`Simulation`] as a member of
+//! a parallel fleet.
+//!
+//! A `FleetHost` is exactly a single-host simulation (same engine, same
+//! wheel, same world) plus the three parallel-engine hooks: peek the
+//! next event time, advance a lookahead-bounded slice, and move fabric
+//! envelopes in and out. A one-host fleet therefore executes the
+//! identical event sequence a serial [`Simulation`] would — the
+//! `--shards 1 == serial` bit-identity the differential tests pin down.
+
+use crate::error::RunError;
+use crate::world::{Event, Simulation};
+use hostcc_fabric::WireMsg;
+use hostcc_sim::{Envelope, RunOutcome, ShardHost, SimTime};
+
+/// One fleet member: a started testbed simulation driven in epoch slices.
+pub struct FleetHost {
+    sim: Simulation,
+    /// First watchdog trip, if any. A stalled host is withdrawn from the
+    /// epoch computation (it reports no pending events and stops
+    /// advancing) so the fleet run can terminate and surface the error
+    /// instead of spinning on a frozen clock.
+    stalled: Option<SimTime>,
+}
+
+impl FleetHost {
+    /// Wrap a started simulation (wire remote flows before starting it;
+    /// see `Testbed::enable_fabric` / `Simulation::from_testbed`).
+    pub fn new(sim: Simulation) -> Self {
+        FleetHost { sim, stalled: None }
+    }
+
+    /// The wrapped simulation.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Mutable access (arming metrics, installing telemetry sinks).
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Check the host for a tripped progress watchdog.
+    pub fn check_stalled(&mut self) -> Result<(), RunError> {
+        match self.stalled {
+            None => Ok(()),
+            Some(at) => {
+                let pending = 0;
+                self.sim.world_mut().telemetry.on_stall(at.as_nanos());
+                Err(RunError::Stalled {
+                    at,
+                    pending,
+                    telemetry: self.sim.world_mut().telemetry.last_sample().map(Box::new),
+                })
+            }
+        }
+    }
+}
+
+impl ShardHost for FleetHost {
+    type Msg = WireMsg;
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        if self.stalled.is_some() {
+            return None;
+        }
+        self.sim.peek_time()
+    }
+
+    fn advance_to(&mut self, deadline: SimTime) {
+        if self.stalled.is_some() {
+            return;
+        }
+        if let RunOutcome::Stalled { at } = self.sim.run_to(deadline) {
+            self.stalled = Some(at);
+        }
+    }
+
+    fn take_outbound(&mut self, out: &mut Vec<Envelope<WireMsg>>) {
+        self.sim.world_mut().take_outbound(out);
+    }
+
+    fn deliver(&mut self, env: Envelope<WireMsg>) {
+        self.sim.world_mut().push_inbound(env.msg);
+        self.sim.schedule_at(env.fire, Event::RemoteArrival);
+    }
+}

@@ -13,6 +13,7 @@
 mod config;
 mod error;
 mod export;
+mod fleet;
 mod metrics;
 mod vlink;
 mod world;
@@ -20,6 +21,7 @@ mod world;
 pub use config::{BufferRecycling, CcKind, ConfigError, TestbedConfig};
 pub use error::RunError;
 pub use export::metrics_json;
+pub use fleet::FleetHost;
 pub use metrics::{MetricsCollector, RunMetrics};
 pub use vlink::VariableRateLink;
 pub use world::{DmaJob, Event, Simulation, Testbed};

@@ -23,7 +23,7 @@ use crate::error::RunError;
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::vlink::VariableRateLink;
 use hostcc_fabric::{
-    EnqueueOutcome, FlowId, GenSlab, Link, PacketRef, PacketStore, SlabRef, SwitchPort,
+    EnqueueOutcome, FlowId, GenSlab, Link, PacketRef, PacketStore, SlabRef, SwitchPort, WireMsg,
 };
 use hostcc_faults::{FaultKind, FaultState, RecoveryTracker};
 use hostcc_iommu::Iommu;
@@ -32,7 +32,7 @@ use hostcc_memsys::{AgentClass, AgentId, MemorySystem, StreamAntagonist};
 use hostcc_nic::Nic;
 use hostcc_pcie::{CreditState, ReplayChannel, ReplayConfig, WriteCredits};
 use hostcc_sim::{
-    stream_seed, DispatchProfile, Engine, EventQueue, Ewma, Queue, RunOutcome, Scheduler,
+    stream_seed, DispatchProfile, Engine, Envelope, EventQueue, Ewma, Queue, RunOutcome, Scheduler,
     SerialLink, SimDuration, SimRng, SimTime, World,
 };
 use hostcc_telemetry::{SignalInputs, Telemetry};
@@ -40,9 +40,67 @@ use hostcc_trace::{
     CounterRegistry, SampleRing, Stage, TimelineRecorder, TraceConfig, TraceEvent, Tracer,
 };
 use hostcc_transport::{
-    Dctcp, FixedWindow, FlowStats, HostAware, ReceiverFlow, RpcReadChannel, SendBlocked,
+    Dctcp, FixedWindow, FlowStats, HostAware, ReceiverFlow, RpcConfig, RpcReadChannel, SendBlocked,
     SenderFlow, Swift,
 };
+
+/// Build one flow's congestion controller, drawing the target-dispersion
+/// scale from `rng` exactly as `Testbed::new` always has (shared with the
+/// fleet wiring path so remote flows get the same CC diversity and the
+/// draw sequence stays bit-identical).
+fn build_cc(
+    kind: &CcKind,
+    dispersion: f64,
+    initial_cwnd: f64,
+    rng: &mut SimRng,
+) -> Box<dyn hostcc_transport::CongestionControl> {
+    match kind {
+        CcKind::Swift(sc) => {
+            let mut sc = sc.clone();
+            let d = dispersion.clamp(0.0, 0.9);
+            let scale = 1.0 - d + 2.0 * d * rng.next_f64();
+            sc.fabric_base_target = sc.fabric_base_target.mul_f64(scale);
+            sc.fs_range = sc.fs_range.mul_f64(scale);
+            Box::new(Swift::new(sc, initial_cwnd))
+        }
+        CcKind::HostAware(hc) => {
+            let mut hc = hc.clone();
+            let d = dispersion.clamp(0.0, 0.9);
+            let scale = 1.0 - d + 2.0 * d * rng.next_f64();
+            hc.swift.fabric_base_target = hc.swift.fabric_base_target.mul_f64(scale);
+            hc.swift.fs_range = hc.swift.fs_range.mul_f64(scale);
+            Box::new(HostAware::new(hc, initial_cwnd))
+        }
+        CcKind::Dctcp(dc) => Box::new(Dctcp::new(dc.clone(), initial_cwnd)),
+        CcKind::Fixed(w) => Box::new(FixedWindow::new(*w)),
+    }
+}
+
+/// Sample one connection's RPC read size from the configured mix (no
+/// draw when the mix is empty — zero-mix runs stay bit-identical).
+fn sample_rpc_cfg(cfg: &TestbedConfig, rng: &mut SimRng) -> RpcConfig {
+    let mut rpc_cfg = cfg.rpc;
+    let total_weight: f64 = cfg.read_size_mix.iter().map(|(_, w)| w).sum();
+    if total_weight > 0.0 {
+        let mut pick = rng.next_f64() * total_weight;
+        for &(bytes, w) in &cfg.read_size_mix {
+            pick -= w;
+            if pick <= 0.0 {
+                rpc_cfg.read_bytes = bytes.max(rpc_cfg.mtu_payload);
+                break;
+            }
+        }
+    }
+    rpc_cfg
+}
+
+/// Build one sender access link, drawing its propagation-spread factor
+/// from `rng` (shared with the fleet wiring path).
+fn build_sender_link(cfg: &TestbedConfig, rng: &mut SimRng) -> Link {
+    let spread = cfg.propagation_spread.clamp(0.0, 0.95);
+    let factor = 1.0 - spread + 2.0 * spread * rng.next_f64();
+    Link::new(cfg.sender_link_bps, cfg.hop_propagation.mul_f64(factor))
+}
 
 /// A DMA in flight between credit admission and completion.
 ///
@@ -123,6 +181,13 @@ pub enum Event {
     /// Periodic telemetry sampling tick (scheduled only when telemetry is
     /// enabled, so telemetry-off runs dispatch an identical event stream).
     TelemetryTick,
+    /// A cross-host fabric message (data or returning ACK) fires at this
+    /// host. Payload-free on purpose: the message itself waits in the
+    /// fabric port's FIFO inbox — the parallel engine injects messages in
+    /// `(fire, src_host, seq)` order and the wheel preserves FIFO within
+    /// a timestamp, so the queue order matches the injection order and
+    /// the event stays inside the 24-byte budget.
+    RemoteArrival,
 }
 
 // The whole point of the handle-based datapath: events must stay small
@@ -132,6 +197,52 @@ const _: () = assert!(
     std::mem::size_of::<Event>() <= 24,
     "Event outgrew its 24-byte budget; keep payloads in slabs, not events"
 );
+
+/// Role of a virtual flow slot appended by fleet wiring. Slot `k`
+/// (flow index `senders * receiver_threads + k`) owns virtual sender id
+/// `senders + k`, so the existing per-sender vectors stay uniformly
+/// indexed.
+#[derive(Debug, Clone, Copy)]
+enum RemoteEntry {
+    /// This host transmits; the data crosses the fabric to `dst_host`,
+    /// stamped with the destination-side flow id so the receive path
+    /// needs no translation table.
+    Sender {
+        /// Destination host (global fleet id).
+        dst_host: u32,
+        /// Flow id of the paired receiver slot on the destination.
+        dst_flow_id: FlowId,
+    },
+    /// This host receives; ACKs return across the fabric to flow
+    /// `src_flow` on `src_host`.
+    Receiver {
+        /// Source host (global fleet id).
+        src_host: u32,
+        /// Flow index of the paired sender slot on the source.
+        src_flow: u32,
+    },
+}
+
+/// Inter-host fabric attachment: identity, minimum latency (the parallel
+/// engine's lookahead), and the outbound/inbound message staging areas.
+/// `None` on single-host testbeds — the entire remote path costs one
+/// `is_empty` branch there.
+#[derive(Debug)]
+struct FabricPort {
+    /// This host's global fleet id (stamped on outgoing envelopes).
+    host_id: u32,
+    /// Minimum inter-host delivery latency, added to every crossing.
+    latency: SimDuration,
+    /// Monotonic per-host envelope counter: the deterministic merge
+    /// tiebreaker `(fire, src_host, seq)` needs uniqueness per host.
+    wire_seq: u64,
+    /// Envelopes emitted since the last `take_outbound` drain.
+    outbox: Vec<Envelope<WireMsg>>,
+    /// Inbound messages awaiting their `RemoteArrival` events, in
+    /// delivery order (the engine injects in merge order; the wheel's
+    /// FIFO-within-timestamp keeps event order aligned with this queue).
+    inbox: std::collections::VecDeque<WireMsg>,
+}
 
 /// The complete simulated testbed (implements [`World`]).
 pub struct Testbed {
@@ -143,6 +254,11 @@ pub struct Testbed {
     sender_links: Vec<Link>,
     recv_flows: Vec<ReceiverFlow>,
     rpc: Vec<RpcReadChannel>,
+    /// Roles of the virtual flow slots appended by fleet wiring (empty on
+    /// single-host testbeds; slot `k` is flow `base_flows() + k`).
+    remote: Vec<RemoteEntry>,
+    /// Inter-host fabric attachment (`None` outside a fleet).
+    fabric: Option<FabricPort>,
     // --- fabric ---
     switch: SwitchPort,
     /// Every live packet, from `TrySend` until its ACK is consumed at the
@@ -340,41 +456,16 @@ impl Testbed {
         let mut flow_ids = Vec::with_capacity(n_flows);
         let mut recv_flows = Vec::with_capacity(n_flows);
         let mut rpc = Vec::with_capacity(n_flows);
-        let total_weight: f64 = cfg.read_size_mix.iter().map(|(_, w)| w).sum();
         for s in 0..cfg.senders {
             for t in 0..threads {
                 // Sample this connection's read size from the mix.
-                let mut rpc_cfg = cfg.rpc;
-                if total_weight > 0.0 {
-                    let mut pick = rng.next_f64() * total_weight;
-                    for &(bytes, w) in &cfg.read_size_mix {
-                        pick -= w;
-                        if pick <= 0.0 {
-                            rpc_cfg.read_bytes = bytes.max(rpc_cfg.mtu_payload);
-                            break;
-                        }
-                    }
-                }
-                let cc: Box<dyn hostcc_transport::CongestionControl> = match &cfg.cc {
-                    CcKind::Swift(sc) => {
-                        let mut sc = sc.clone();
-                        let d = cfg.target_dispersion.clamp(0.0, 0.9);
-                        let scale = 1.0 - d + 2.0 * d * rng.next_f64();
-                        sc.fabric_base_target = sc.fabric_base_target.mul_f64(scale);
-                        sc.fs_range = sc.fs_range.mul_f64(scale);
-                        Box::new(Swift::new(sc, cfg.flow.initial_cwnd))
-                    }
-                    CcKind::HostAware(hc) => {
-                        let mut hc = hc.clone();
-                        let d = cfg.target_dispersion.clamp(0.0, 0.9);
-                        let scale = 1.0 - d + 2.0 * d * rng.next_f64();
-                        hc.swift.fabric_base_target = hc.swift.fabric_base_target.mul_f64(scale);
-                        hc.swift.fs_range = hc.swift.fs_range.mul_f64(scale);
-                        Box::new(HostAware::new(hc, cfg.flow.initial_cwnd))
-                    }
-                    CcKind::Dctcp(dc) => Box::new(Dctcp::new(dc.clone(), cfg.flow.initial_cwnd)),
-                    CcKind::Fixed(w) => Box::new(FixedWindow::new(*w)),
-                };
+                let rpc_cfg = sample_rpc_cfg(&cfg, &mut rng);
+                let cc = build_cc(
+                    &cfg.cc,
+                    cfg.target_dispersion,
+                    cfg.flow.initial_cwnd,
+                    &mut rng,
+                );
                 let mut f = SenderFlow::new(cfg.flow.clone(), cc);
                 let ch = RpcReadChannel::new(rpc_cfg);
                 f.set_data_frontier(ch.data_frontier());
@@ -389,11 +480,7 @@ impl Testbed {
         }
 
         let sender_links: Vec<Link> = (0..cfg.senders)
-            .map(|_| {
-                let spread = cfg.propagation_spread.clamp(0.0, 0.95);
-                let factor = 1.0 - spread + 2.0 * spread * rng.next_f64();
-                Link::new(cfg.sender_link_bps, cfg.hop_propagation.mul_f64(factor))
-            })
+            .map(|_| build_sender_link(&cfg, &mut rng))
             .collect();
         let switch = SwitchPort::new(
             cfg.access_link_bps,
@@ -456,6 +543,8 @@ impl Testbed {
             sender_links,
             recv_flows,
             rpc,
+            remote: Vec::new(),
+            fabric: None,
             switch,
             store,
             dma,
@@ -533,6 +622,10 @@ impl Testbed {
     pub fn start<Q: Queue<Event>>(&mut self, sched: &mut Scheduler<Event, Q>) {
         let n = self.flows.len() as u32;
         for f in 0..n {
+            // Fleet receiver slots hold no transmitting flow.
+            if self.is_remote_receiver(f as usize) {
+                continue;
+            }
             // Slight deterministic desynchronisation of flow start times.
             let jitter = SimDuration::from_nanos((f as u64 * 193) % 20_000);
             sched.after(jitter, Event::TrySend(f));
@@ -559,7 +652,175 @@ impl Testbed {
     }
 
     fn flow_index(&self, id: FlowId) -> u32 {
-        id.sender * self.cfg.receiver_threads + id.thread
+        if id.sender >= self.cfg.senders {
+            // Virtual sender from fleet wiring: slot k = sender - senders,
+            // one flow per slot, appended after the local grid.
+            self.base_flows() + (id.sender - self.cfg.senders)
+        } else {
+            id.sender * self.cfg.receiver_threads + id.thread
+        }
+    }
+
+    /// Number of local (sender, thread) flows; remote slots start here.
+    #[inline]
+    fn base_flows(&self) -> u32 {
+        self.cfg.senders * self.cfg.receiver_threads
+    }
+
+    /// Whether flow `f` is a fleet-wiring receiver slot (a placeholder
+    /// sender that must never be started or swept into transmitting).
+    #[inline]
+    fn is_remote_receiver(&self, f: usize) -> bool {
+        let base = self.base_flows() as usize;
+        f >= base && matches!(self.remote[f - base], RemoteEntry::Receiver { .. })
+    }
+
+    // ---- fleet wiring (all calls happen before `start`) ----
+
+    /// Attach this testbed to the inter-host fabric as `host_id`, with
+    /// the given minimum crossing latency (the parallel engine's
+    /// lookahead). Must precede any `add_remote_*` call.
+    pub fn enable_fabric(&mut self, host_id: u32, latency: SimDuration) {
+        assert!(
+            latency > SimDuration::ZERO,
+            "inter-host latency must be positive (it is the lookahead)"
+        );
+        self.fabric = Some(FabricPort {
+            host_id,
+            latency,
+            wire_seq: 0,
+            outbox: Vec::new(),
+            inbox: std::collections::VecDeque::new(),
+        });
+    }
+
+    /// Flow index the next `add_remote_*` call will allocate. The fleet
+    /// builder reads this on the *sender* host before wiring the receiver
+    /// side, so the receiver knows the return address up front.
+    pub fn next_remote_flow(&self) -> u32 {
+        self.flows.len() as u32
+    }
+
+    /// Allocate the receiver half of a cross-host flow terminating on
+    /// local thread `thread`: a receiver flow + RPC read channel behind a
+    /// placeholder sender slot. ACKs return across the fabric to
+    /// `src_flow` on `src_host`. Returns `(flow_index, flow_id,
+    /// initial_data_frontier)` — the sender half embeds the flow id in
+    /// its data packets and seeds its frontier from the returned value.
+    pub fn add_remote_receiver(
+        &mut self,
+        src_host: u32,
+        src_flow: u32,
+        thread: u32,
+    ) -> (u32, FlowId, u64) {
+        assert!(
+            self.fabric.is_some(),
+            "enable_fabric before wiring remote flows"
+        );
+        let f = self.flows.len() as u32;
+        let id = FlowId {
+            sender: self.cfg.senders + self.remote.len() as u32,
+            thread: thread % self.cfg.receiver_threads.max(1),
+        };
+        // Same per-connection draws as local flows (read-size mix, link
+        // spread), from the host's own RNG: the wiring is a fixed part of
+        // the fleet topology, so the draw sequence is independent of
+        // shard count.
+        let rpc_cfg = sample_rpc_cfg(&self.cfg, &mut self.rng);
+        let ch = RpcReadChannel::new(rpc_cfg);
+        let frontier = ch.data_frontier();
+        // The slot's sender side never transmits (its TrySend is never
+        // scheduled and no ACK ever addresses it); the placeholder just
+        // keeps the flow vectors parallel.
+        self.flows.push(SenderFlow::new(
+            self.cfg.flow.clone(),
+            Box::new(FixedWindow::new(1.0)),
+        ));
+        self.flow_ids.push(id);
+        self.recv_flows.push(ReceiverFlow::new());
+        self.rpc.push(ch);
+        self.sender_links
+            .push(build_sender_link(&self.cfg, &mut self.rng));
+        self.remote
+            .push(RemoteEntry::Receiver { src_host, src_flow });
+        (f, id, frontier)
+    }
+
+    /// Allocate the sender half of a cross-host flow: a full sender flow
+    /// (CC built exactly like local ones, including the dispersion draw)
+    /// whose data packets cross the fabric to `dst_flow_id` on
+    /// `dst_host`. Returns the new flow index — which the fleet builder
+    /// already predicted via [`next_remote_flow`](Self::next_remote_flow).
+    pub fn add_remote_sender(
+        &mut self,
+        dst_host: u32,
+        dst_flow_id: FlowId,
+        initial_frontier: u64,
+    ) -> u32 {
+        assert!(
+            self.fabric.is_some(),
+            "enable_fabric before wiring remote flows"
+        );
+        let f = self.flows.len() as u32;
+        let id = FlowId {
+            sender: self.cfg.senders + self.remote.len() as u32,
+            thread: dst_flow_id.thread,
+        };
+        let cc = build_cc(
+            &self.cfg.cc,
+            self.cfg.target_dispersion,
+            self.cfg.flow.initial_cwnd,
+            &mut self.rng,
+        );
+        let mut fl = SenderFlow::new(self.cfg.flow.clone(), cc);
+        fl.set_data_frontier(initial_frontier);
+        self.flows.push(fl);
+        self.flow_ids.push(id);
+        // Unused on the sender host (data is consumed remotely); parallel
+        // for uniform indexing.
+        self.recv_flows.push(ReceiverFlow::new());
+        self.rpc.push(RpcReadChannel::new(self.cfg.rpc));
+        self.sender_links
+            .push(build_sender_link(&self.cfg, &mut self.rng));
+        self.remote.push(RemoteEntry::Sender {
+            dst_host,
+            dst_flow_id,
+        });
+        f
+    }
+
+    /// Move every envelope emitted since the last drain into `out`
+    /// (parallel-engine send phase). No-op outside a fleet.
+    pub fn take_outbound(&mut self, out: &mut Vec<Envelope<WireMsg>>) {
+        if let Some(port) = self.fabric.as_mut() {
+            out.append(&mut port.outbox);
+        }
+    }
+
+    /// Queue an inbound fabric message; the caller schedules the matching
+    /// [`Event::RemoteArrival`] at the envelope's fire time.
+    pub fn push_inbound(&mut self, msg: WireMsg) {
+        self.fabric
+            .as_mut()
+            .expect("inbound message without fabric")
+            .inbox
+            .push_back(msg);
+    }
+
+    /// Stamp and stage an outbound envelope: `fire` is the local
+    /// emission-side arrival instant, to which the fabric crossing adds
+    /// its minimum latency (so `fire >= now + lookahead` always holds).
+    fn queue_remote(&mut self, fire: SimTime, dst_host: u32, msg: WireMsg) {
+        let port = self.fabric.as_mut().expect("remote flow without fabric");
+        let seq = port.wire_seq;
+        port.wire_seq += 1;
+        port.outbox.push(Envelope {
+            fire: fire + port.latency,
+            src_host: port.host_id,
+            seq,
+            dst_host,
+            msg,
+        });
     }
 
     /// Begin measurement (discard warm-up counts). Also baselines the
@@ -586,7 +847,18 @@ impl Testbed {
 
     /// Snapshot metrics at `now`.
     pub fn snapshot(&mut self, now: SimTime) -> RunMetrics {
-        let mean_cwnd = self.flows.iter().map(|f| f.cwnd()).sum::<f64>() / self.flows.len() as f64;
+        // Placeholder receiver slots hold no real window; exclude them so
+        // fleet hosts report the mean over transmitting flows (identical
+        // accumulation when no remote slots exist).
+        let (mut cwnd_sum, mut cwnd_n) = (0.0f64, 0u64);
+        for (i, fl) in self.flows.iter().enumerate() {
+            if self.is_remote_receiver(i) {
+                continue;
+            }
+            cwnd_sum += fl.cwnd();
+            cwnd_n += 1;
+        }
+        let mean_cwnd = cwnd_sum / cwnd_n as f64;
         let mut m = self
             .metrics
             .snapshot(now, self.nic.input.peak_bytes(), mean_cwnd);
@@ -716,6 +988,32 @@ impl Testbed {
         let id = self.flow_ids[f as usize];
         match self.flows[f as usize].try_send(now) {
             Ok(seq) => {
+                let base = self.base_flows();
+                if f >= base {
+                    // Cross-host flow: the packet leaves this host
+                    // entirely, stamped with the destination-side flow id.
+                    // It still serialises through this slot's access link
+                    // (so pacing and link contention are modelled), then
+                    // crosses the fabric at its minimum latency and joins
+                    // the destination's datapath at its incast switch.
+                    let RemoteEntry::Sender {
+                        dst_host,
+                        dst_flow_id,
+                    } = self.remote[(f - base) as usize]
+                    else {
+                        unreachable!("receiver slots never transmit");
+                    };
+                    let pkt = self.cfg.wire.data_packet(dst_flow_id, seq, now);
+                    if self.metrics.armed {
+                        self.metrics.data_packets_sent += 1;
+                    }
+                    let link = &mut self.sender_links[id.sender as usize];
+                    let arrive = link.transmit(now, &pkt);
+                    let next = link.free_at().max(now);
+                    self.queue_remote(arrive, dst_host, WireMsg::Data(pkt));
+                    sched.at(next, Event::TrySend(f));
+                    return;
+                }
                 let pkt = self.cfg.wire.data_packet(id, seq, now);
                 if self.metrics.armed {
                     self.metrics.data_packets_sent += 1;
@@ -1257,6 +1555,26 @@ impl Testbed {
         // Anchored at `done_at`, not the engine clock: a fused chain runs
         // this body at the DMA-retire instant but the ACK leaves when the
         // core finishes.
+        if f >= self.base_flows() as usize {
+            // Cross-host flow: the ACK crosses the fabric back to the
+            // paired sender slot, taking the same local return path plus
+            // the fabric's minimum latency.
+            let RemoteEntry::Receiver { src_host, src_flow } =
+                self.remote[f - self.base_flows() as usize]
+            else {
+                unreachable!("sender slots never receive data");
+            };
+            self.queue_remote(
+                now + back,
+                src_host,
+                WireMsg::Ack {
+                    flow: src_flow,
+                    ack,
+                    frontier,
+                },
+            );
+            return;
+        }
         sched.at(
             now + back,
             Event::AckToSender {
@@ -1277,6 +1595,20 @@ impl Testbed {
     ) {
         // The ACK is consumed at the sender; its slab entry retires.
         let ack = self.store.free(ack);
+        self.ack_body(now, f, ack, frontier, sched);
+    }
+
+    /// ACK consumption at the sender, shared by the local path (after the
+    /// store retire above) and the cross-host path (where the ACK arrives
+    /// by value, never having entered this host's store).
+    fn ack_body<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        f: u32,
+        ack: hostcc_fabric::Packet,
+        frontier: u64,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
         if self.telemetry.is_enabled() {
             // Fabric share of the round trip: RTT minus the echoed host
             // delay. Independent of `metrics.armed`, so the sampler sees
@@ -1300,6 +1632,36 @@ impl Testbed {
         );
         flow.set_data_frontier(frontier);
         sched.immediately(Event::TrySend(f));
+    }
+
+    /// A cross-host message fires: pop the fabric inbox head (injection
+    /// order matches event order — see [`Event::RemoteArrival`]). Data
+    /// joins the local datapath at the incast switch, exactly where a
+    /// local sender's packet enters; ACKs take the shared consumption
+    /// path without a store round-trip.
+    fn handle_remote_arrival<Q: Queue<Event>>(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Event, Q>,
+    ) {
+        let msg = self
+            .fabric
+            .as_mut()
+            .expect("RemoteArrival without fabric")
+            .inbox
+            .pop_front()
+            .expect("RemoteArrival without queued message");
+        match msg {
+            WireMsg::Data(pkt) => {
+                let pref = self.store.alloc(pkt);
+                self.handle_at_switch(now, pref, sched);
+            }
+            WireMsg::Ack {
+                flow,
+                ack,
+                frontier,
+            } => self.ack_body(now, flow, ack, frontier, sched),
+        }
     }
 
     fn handle_rto_sweep<Q: Queue<Event>>(&mut self, now: SimTime, sched: &mut Scheduler<Event, Q>) {
@@ -1605,6 +1967,7 @@ impl World for Testbed {
             Event::MemTick => self.handle_mem_tick(now, sched),
             Event::Fault(code) => self.handle_fault(now, code, sched),
             Event::TelemetryTick => self.handle_telemetry_tick(now, sched),
+            Event::RemoteArrival => self.handle_remote_arrival(now, sched),
         }
     }
 
@@ -1728,6 +2091,15 @@ impl Simulation {
         world.start(sched);
         Simulation { engine }
     }
+
+    /// Build and start a simulation from an already-constructed testbed.
+    /// The fleet builder needs this split: remote flows must be wired
+    /// (`enable_fabric` + `add_remote_*`) *before* `start` schedules the
+    /// initial send attempts.
+    pub fn from_testbed(testbed: Testbed) -> Simulation {
+        let res = testbed.config().resolution;
+        Simulation::from_testbed_on_queue(testbed, res)
+    }
 }
 
 impl Simulation<hostcc_sim::BinaryHeapQueue<Event>> {
@@ -1745,7 +2117,11 @@ impl<Q: Queue<Event>> Simulation<Q> {
     /// matter which queue backs the engine.
     pub fn with_queue(cfg: TestbedConfig) -> Self {
         let res = cfg.resolution;
-        let mut engine = Engine::with_queue_resolution(Testbed::new(cfg), res);
+        Self::from_testbed_on_queue(Testbed::new(cfg), res)
+    }
+
+    fn from_testbed_on_queue(testbed: Testbed, res: hostcc_sim::Resolution) -> Self {
+        let mut engine = Engine::with_queue_resolution(testbed, res);
         engine.stall_limit = Some(STALL_LIMIT);
         let Engine { world, sched, .. } = &mut engine;
         world.start(sched);
@@ -1798,6 +2174,25 @@ impl<Q: Queue<Event>> Simulation<Q> {
     pub fn advance(&mut self, d: SimDuration) {
         let t0 = self.engine.now();
         self.engine.run_until(t0 + d);
+    }
+
+    /// Run all events with `t <= deadline` (inclusive) and leave the
+    /// clock at exactly `deadline` — the epoch-slice primitive the
+    /// parallel engine drives. Repeated calls with non-decreasing
+    /// deadlines replay exactly what one big `run_until` would have.
+    pub fn run_to(&mut self, deadline: SimTime) -> RunOutcome {
+        self.engine.run_until(deadline)
+    }
+
+    /// Timestamp of the earliest pending event (`None` when idle).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.engine.sched.peek_time()
+    }
+
+    /// Schedule `ev` at absolute time `t` (clamped to now, like all
+    /// scheduling). The parallel engine injects `RemoteArrival`s here.
+    pub fn schedule_at(&mut self, t: SimTime, ev: Event) {
+        self.engine.sched.at(t, ev);
     }
 
     /// Run `warmup` of simulated time to reach steady state, then measure

@@ -90,6 +90,14 @@ impl<E, Q: Queue<E>> Scheduler<E, Q> {
         self.queue.len()
     }
 
+    /// Timestamp of the earliest queued event (`None` when the queue is
+    /// empty). The parallel engine uses this to compute the global
+    /// lookahead-bounded epoch horizon without popping anything.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Events dispatched over the scheduler's lifetime.
     pub fn dispatched_total(&self) -> u64 {
         self.queue.dispatched_total()

@@ -12,6 +12,9 @@
 //!   reference implementation behind the shared [`Queue`] trait;
 //! * [`Engine`]/[`World`]/[`Scheduler`] — the event loop, generic over the
 //!   queue implementation;
+//! * [`ParallelEngine`]/[`ShardHost`]/[`Envelope`] — deterministic
+//!   conservative parallel execution of many coupled sub-simulations in
+//!   lookahead-bounded epochs;
 //! * [`SimRng`] — a seedable, stable xoshiro256** generator;
 //! * statistics: [`Running`], [`RateMeter`], [`Ewma`], [`TimeSeries`],
 //!   [`Histogram`];
@@ -27,6 +30,7 @@
 mod engine;
 mod hist;
 mod pacer;
+mod parallel;
 mod queue;
 mod rng;
 mod stats;
@@ -36,6 +40,7 @@ mod wheel;
 pub use engine::{DispatchProfile, Engine, RunOutcome, Scheduler, World};
 pub use hist::Histogram;
 pub use pacer::{SerialLink, TokenBucket};
+pub use parallel::{Envelope, ParallelEngine, ShardHost};
 pub use queue::{BinaryHeapQueue, Queue};
 pub use rng::{stream_seed, SimRng, SplitMix64};
 pub use wheel::TimingWheel;

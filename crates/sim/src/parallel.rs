@@ -1,0 +1,499 @@
+//! Conservative parallel discrete-event execution across shards.
+//!
+//! A [`ParallelEngine`] drives N independent hosts — each with its own
+//! event queue, clock and RNG streams — on S worker threads ("shards",
+//! hosts are assigned round-robin: host `i` runs on shard `i % S`). Hosts
+//! interact only through messages with a minimum delivery latency, the
+//! **lookahead** `L`: a message emitted while a host executes events at
+//! time `t` may not fire before `t + L`. That bound is exactly what a
+//! conservative ("null-message-free", SimBricks-style) synchronisation
+//! scheme needs:
+//!
+//! 1. Compute the global minimum next-event time `g` across all hosts.
+//! 2. Advance every host independently to `epoch_end = g + L`.
+//!    Safety: any cross-host message generated inside the epoch was
+//!    emitted at some `t >= g`, so it fires at `>= g + L >= epoch_end` —
+//!    never inside the epoch that generated it.
+//! 3. Exchange the emitted messages through per-shard-pair mailboxes,
+//!    barrier, and repeat.
+//!
+//! # Determinism: thread count is unobservable
+//!
+//! Two properties make the result bit-identical at any shard count,
+//! including 1:
+//!
+//! * **Epoch boundaries are global.** `epoch_end` is computed from the
+//!   minimum over *all* hosts, so the sequence of epochs is a pure
+//!   function of simulation state, not of the host→shard assignment.
+//!   This matters because delivery *timing* is observable: an envelope
+//!   injected in an earlier epoch sits in the host's queue ahead of
+//!   same-timestamp events the host schedules later (FIFO within a
+//!   timestamp slot). Global epochs make that interleaving identical
+//!   everywhere.
+//! * **The merge key is simulation-derived.** Before delivery, each
+//!   shard sorts its inbound envelopes by `(fire, src_host, seq)`, where
+//!   `seq` is a per-source-host counter. The key never encodes which
+//!   thread produced or transported the envelope, and it is unique
+//!   (each source host numbers its own envelopes), so the per-host
+//!   delivery sequence is a total order independent of thread
+//!   interleaving.
+//!
+//! Mailboxes are `Mutex<Vec<_>>`, but each `(src, dst)` box is written
+//! only by `src`'s worker in the send phase and drained only by `dst`'s
+//! worker in the delivery phase, with a barrier between the phases — the
+//! locks are never contended and exist only to satisfy the borrow
+//! checker without `unsafe`.
+
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A cross-host message in flight, stamped with its delivery time and
+/// deterministic merge key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Absolute time at which the message fires at the destination.
+    /// Must satisfy the lookahead contract: `fire >= emit_time + L`.
+    pub fire: SimTime,
+    /// Global id of the emitting host (first tiebreaker of the merge key).
+    pub src_host: u32,
+    /// Per-source-host sequence number (second tiebreaker; unique per
+    /// `src_host`, so the full key `(fire, src_host, seq)` is unique).
+    pub seq: u64,
+    /// Global id of the destination host.
+    pub dst_host: u32,
+    /// The payload.
+    pub msg: M,
+}
+
+/// One host in a sharded world: an independent sub-simulation that the
+/// parallel engine advances in lookahead-bounded epochs.
+///
+/// Implementations must uphold the lookahead contract: every envelope
+/// surfaced by [`take_outbound`](ShardHost::take_outbound) after an
+/// `advance_to(epoch_end)` call fires at `>= emit_time + lookahead`,
+/// where `emit_time` is the simulation time at which the emitting event
+/// executed.
+pub trait ShardHost: Send {
+    /// Cross-host message payload.
+    type Msg: Send;
+
+    /// Timestamp of this host's earliest pending event (`None` when its
+    /// queue is empty). Delivered envelopes count: [`deliver`](Self::deliver)
+    /// happens before the engine reads this.
+    fn next_event_time(&self) -> Option<SimTime>;
+
+    /// Run all events with `t <= deadline` and leave the local clock at
+    /// exactly `deadline`. Called repeatedly with non-decreasing
+    /// deadlines; a call that processes nothing must still advance the
+    /// clock.
+    fn advance_to(&mut self, deadline: SimTime);
+
+    /// Move every envelope emitted since the last call into `out`
+    /// (append; the engine owns routing). Implementations stamp
+    /// `src_host` and a monotonically increasing per-host `seq`.
+    fn take_outbound(&mut self, out: &mut Vec<Envelope<Self::Msg>>);
+
+    /// Inject an inbound envelope as a pending local event at
+    /// `env.fire`. The engine calls this in merge-key order
+    /// (`(fire, src_host, seq)` ascending) for each host.
+    fn deliver(&mut self, env: Envelope<Self::Msg>);
+}
+
+/// One row of the shard-pair mailbox grid: the boxes a single source
+/// shard writes, indexed by destination shard.
+type MailRow<M> = Vec<Mutex<Vec<Envelope<M>>>>;
+
+/// A sense-reversing spin barrier built from atomics (`forbid(unsafe_code)`
+/// friendly). Spins briefly, then yields — so S worker threads still make
+/// progress on hosts with fewer cores, just without speedup.
+struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::SeqCst);
+        if self.arrived.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
+            // Last arrival: reset the counter for the next use, then
+            // release everyone by bumping the generation.
+            self.arrived.store(0, Ordering::SeqCst);
+            self.generation.fetch_add(1, Ordering::SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::SeqCst) == gen {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Drives a set of [`ShardHost`]s deterministically across worker threads.
+pub struct ParallelEngine<H: ShardHost> {
+    hosts: Vec<H>,
+    shards: usize,
+    lookahead: SimDuration,
+    epochs: u64,
+}
+
+impl<H: ShardHost> ParallelEngine<H> {
+    /// Build an engine over `hosts`, running on `shards` worker threads
+    /// (clamped to at least 1), with the given lookahead.
+    pub fn new(hosts: Vec<H>, shards: usize, lookahead: SimDuration) -> Self {
+        ParallelEngine {
+            hosts,
+            shards: shards.max(1),
+            lookahead,
+            epochs: 0,
+        }
+    }
+
+    /// The hosts, in global-id order (host `i` is `hosts()[i]`).
+    pub fn hosts(&self) -> &[H] {
+        &self.hosts
+    }
+
+    /// Mutable access to the hosts (e.g. to arm metrics between phases).
+    pub fn hosts_mut(&mut self) -> &mut [H] {
+        &mut self.hosts
+    }
+
+    /// Worker-thread count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The synchronisation lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Epochs executed so far (across all `run_to` calls). An epoch is
+    /// one advance-exchange-barrier round; the count is identical at any
+    /// shard count, which the differential tests exploit.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Advance every host to exactly `deadline` (inclusive), running
+    /// epochs until no host has an event at `t <= deadline`. Callable
+    /// repeatedly with non-decreasing deadlines; cross-host messages are
+    /// fully drained before returning (every in-flight message lives as
+    /// a scheduled event in its destination host's queue).
+    pub fn run_to(&mut self, deadline: SimTime) {
+        let shards = self.shards;
+        let lookahead_ns = self.lookahead.as_nanos();
+        let deadline_ns = deadline.as_nanos();
+        let n_hosts = self.hosts.len();
+        // Per-shard minimum next-event time slots (u64::MAX = idle).
+        let mins: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        // Per-(src,dst) shard mailboxes. Never contended: src writes in
+        // the send phase, dst drains in the delivery phase, a barrier
+        // sits between them.
+        let boxes: Vec<MailRow<H::Msg>> = (0..shards)
+            .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let barrier = SpinBarrier::new(shards);
+        let epochs = AtomicU64::new(0);
+
+        // Round-robin host partition: shard s owns hosts s, s+S, s+2S, …
+        // (so a host's shard is `id % S` and its slot is `id / S`).
+        let mut buckets: Vec<Vec<&mut H>> = (0..shards).map(|_| Vec::new()).collect();
+        for (id, host) in self.hosts.iter_mut().enumerate() {
+            buckets[id % shards].push(host);
+        }
+
+        std::thread::scope(|scope| {
+            let mut workers: Vec<_> = buckets
+                .into_iter()
+                .enumerate()
+                .map(|(me, bucket)| {
+                    let ctx = (&mins, &boxes, &barrier, &epochs);
+                    move || {
+                        drive_shard::<H>(
+                            me,
+                            shards,
+                            bucket,
+                            n_hosts,
+                            lookahead_ns,
+                            deadline_ns,
+                            ctx.0,
+                            ctx.1,
+                            ctx.2,
+                            ctx.3,
+                        )
+                    }
+                })
+                .collect();
+            // Shard 0 runs on the calling thread; the rest get workers.
+            let shard0 = workers.remove(0);
+            for w in workers {
+                scope.spawn(w);
+            }
+            shard0();
+        });
+        self.epochs += epochs.load(Ordering::SeqCst);
+    }
+}
+
+/// The per-shard worker loop. Every worker executes the same epoch
+/// decisions (global minimum, epoch end, termination) redundantly from
+/// the shared `mins` slots — identical integer math on identical inputs,
+/// so no coordinator thread is needed.
+#[allow(clippy::too_many_arguments)]
+fn drive_shard<H: ShardHost>(
+    me: usize,
+    shards: usize,
+    mut hosts: Vec<&mut H>,
+    n_hosts: usize,
+    lookahead_ns: u64,
+    deadline_ns: u64,
+    mins: &[AtomicU64],
+    boxes: &[MailRow<H::Msg>],
+    barrier: &SpinBarrier,
+    epochs: &AtomicU64,
+) {
+    let mut inbound: Vec<Envelope<H::Msg>> = Vec::new();
+    let mut outbound: Vec<Envelope<H::Msg>> = Vec::new();
+    loop {
+        // Delivery phase: drain every mailbox addressed to this shard,
+        // merge deterministically, inject into the destination hosts.
+        for src_boxes in boxes {
+            let mut mb = src_boxes[me].lock().expect("mailbox poisoned");
+            inbound.append(&mut mb);
+        }
+        // The key is unique ((src_host, seq) pairs are never reused), so
+        // an unstable sort is a total order regardless of the drain
+        // order above.
+        inbound.sort_unstable_by_key(|e| (e.fire, e.src_host, e.seq));
+        for env in inbound.drain(..) {
+            let dst = env.dst_host as usize;
+            debug_assert!(dst < n_hosts, "envelope to unknown host {dst}");
+            debug_assert_eq!(dst % shards, me, "envelope routed to wrong shard");
+            hosts[dst / shards].deliver(env);
+        }
+        // Publish this shard's minimum next-event time (inclusive of the
+        // envelopes just delivered).
+        let mut local_min = u64::MAX;
+        for h in hosts.iter() {
+            if let Some(t) = h.next_event_time() {
+                local_min = local_min.min(t.as_nanos());
+            }
+        }
+        mins[me].store(local_min, Ordering::SeqCst);
+        barrier.wait();
+
+        // Epoch phase: every worker derives the same global minimum.
+        let gmin = mins
+            .iter()
+            .map(|m| m.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        if gmin > deadline_ns {
+            // Nothing left at or before the deadline anywhere (mailboxes
+            // are empty: drained above, and nothing has been sent since
+            // that drain). Park every clock at the deadline and stop —
+            // all workers reach this branch together.
+            for h in hosts.iter_mut() {
+                h.advance_to(SimTime::from_nanos(deadline_ns));
+            }
+            break;
+        }
+        let epoch_end = gmin.saturating_add(lookahead_ns).min(deadline_ns);
+        for h in hosts.iter_mut() {
+            h.advance_to(SimTime::from_nanos(epoch_end));
+            h.take_outbound(&mut outbound);
+        }
+        for env in outbound.drain(..) {
+            debug_assert!(
+                env.fire.as_nanos() >= gmin.saturating_add(lookahead_ns),
+                "lookahead violated: envelope fires at {} inside epoch ending {}",
+                env.fire.as_nanos(),
+                epoch_end,
+            );
+            let dst_shard = env.dst_host as usize % shards;
+            boxes[me][dst_shard]
+                .lock()
+                .expect("mailbox poisoned")
+                .push(env);
+        }
+        if me == 0 {
+            epochs.fetch_add(1, Ordering::SeqCst);
+        }
+        // Close the epoch: all sends land before anyone drains again.
+        barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    const LAT: u64 = 500; // toy fabric latency = lookahead
+
+    /// A toy host: a binary-heap event queue of `(time, tiebreak, hops)`
+    /// entries. Handling an event with `hops > 0` sends a message to the
+    /// next host in the ring, which fires `LAT` later.
+    struct Toy {
+        id: u32,
+        n_hosts: u32,
+        now: u64,
+        queue: BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>>,
+        arrivals: u64,
+        seq: u64,
+        out: Vec<Envelope<u32>>,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Toy {
+        fn new(id: u32, n_hosts: u32) -> Self {
+            Toy {
+                id,
+                n_hosts,
+                now: 0,
+                queue: BinaryHeap::new(),
+                arrivals: 0,
+                seq: 0,
+                out: Vec::new(),
+                log: Vec::new(),
+            }
+        }
+
+        fn schedule(&mut self, t: u64, hops: u32) {
+            let tiebreak = self.arrivals;
+            self.arrivals += 1;
+            self.queue.push(std::cmp::Reverse((t, tiebreak, hops)));
+        }
+    }
+
+    impl ShardHost for Toy {
+        type Msg = u32;
+
+        fn next_event_time(&self) -> Option<SimTime> {
+            self.queue
+                .peek()
+                .map(|std::cmp::Reverse((t, _, _))| SimTime::from_nanos(*t))
+        }
+
+        fn advance_to(&mut self, deadline: SimTime) {
+            let deadline = deadline.as_nanos();
+            while let Some(std::cmp::Reverse((t, _, hops))) = self.queue.peek().copied() {
+                if t > deadline {
+                    break;
+                }
+                self.queue.pop();
+                self.now = t;
+                self.log.push((t, hops));
+                if hops > 0 {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.out.push(Envelope {
+                        fire: SimTime::from_nanos(t + LAT),
+                        src_host: self.id,
+                        seq,
+                        dst_host: (self.id + 1) % self.n_hosts,
+                        msg: hops - 1,
+                    });
+                }
+            }
+            self.now = deadline;
+        }
+
+        fn take_outbound(&mut self, out: &mut Vec<Envelope<u32>>) {
+            out.append(&mut self.out);
+        }
+
+        fn deliver(&mut self, env: Envelope<u32>) {
+            self.schedule(env.fire.as_nanos(), env.msg);
+        }
+    }
+
+    fn ring_run(n_hosts: u32, shards: usize, deadline: u64) -> (Vec<Vec<(u64, u32)>>, u64) {
+        let mut hosts: Vec<Toy> = (0..n_hosts).map(|i| Toy::new(i, n_hosts)).collect();
+        // Every host starts a token with a distinct phase and hop count.
+        for (i, h) in hosts.iter_mut().enumerate() {
+            h.schedule(7 * (i as u64 + 1), 20 + i as u32);
+        }
+        let mut eng = ParallelEngine::new(hosts, shards, SimDuration::from_nanos(LAT));
+        eng.run_to(SimTime::from_nanos(deadline));
+        let logs = eng.hosts().iter().map(|h| h.log.clone()).collect();
+        (logs, eng.epochs())
+    }
+
+    #[test]
+    fn ring_is_bit_identical_at_any_shard_count() {
+        let (reference, ref_epochs) = ring_run(5, 1, 60_000);
+        assert!(
+            reference.iter().map(|l| l.len()).sum::<usize>() > 50,
+            "workload should be non-trivial"
+        );
+        for shards in [2, 3, 5, 8] {
+            let (logs, epochs) = ring_run(5, shards, 60_000);
+            assert_eq!(logs, reference, "shards={shards}");
+            assert_eq!(epochs, ref_epochs, "epoch count at shards={shards}");
+        }
+    }
+
+    #[test]
+    fn clocks_land_exactly_on_the_deadline() {
+        let mut hosts: Vec<Toy> = (0..3).map(|i| Toy::new(i, 3)).collect();
+        hosts[0].schedule(10, 2);
+        let mut eng = ParallelEngine::new(hosts, 2, SimDuration::from_nanos(LAT));
+        eng.run_to(SimTime::from_nanos(9_999));
+        for h in eng.hosts() {
+            assert_eq!(h.now, 9_999);
+        }
+        // Resumable: a second slice continues from the first.
+        eng.run_to(SimTime::from_nanos(20_000));
+        for h in eng.hosts() {
+            assert_eq!(h.now, 20_000);
+        }
+    }
+
+    #[test]
+    fn message_firing_exactly_at_the_deadline_is_processed() {
+        // Host 0 fires at t=100 and sends a message that lands at
+        // t=100+LAT. A run_to ending exactly at the arrival time must
+        // still process it (deadlines are inclusive, as in the serial
+        // engine).
+        let mut hosts: Vec<Toy> = (0..2).map(|i| Toy::new(i, 2)).collect();
+        hosts[0].schedule(100, 1);
+        let mut eng = ParallelEngine::new(hosts, 2, SimDuration::from_nanos(LAT));
+        eng.run_to(SimTime::from_nanos(100 + LAT));
+        assert_eq!(eng.hosts()[1].log, vec![(100 + LAT, 0)]);
+    }
+
+    #[test]
+    fn empty_engine_terminates_immediately() {
+        let hosts: Vec<Toy> = (0..4).map(|i| Toy::new(i, 4)).collect();
+        let mut eng = ParallelEngine::new(hosts, 4, SimDuration::from_nanos(LAT));
+        eng.run_to(SimTime::from_nanos(1_000));
+        assert_eq!(eng.epochs(), 0);
+        for h in eng.hosts() {
+            assert_eq!(h.now, 1_000);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_hosts_is_fine() {
+        let (reference, _) = ring_run(2, 1, 30_000);
+        let (logs, _) = ring_run(2, 7, 30_000);
+        assert_eq!(logs, reference);
+    }
+}

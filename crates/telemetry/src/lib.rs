@@ -97,7 +97,7 @@ pub struct Telemetry {
     samples_taken: u64,
     last: Option<TelemetrySample>,
     /// Streaming JSONL sink (one line per sample, appended incrementally).
-    sink: Option<Box<dyn Write>>,
+    sink: Option<Box<dyn Write + Send>>,
     /// Reusable line buffer for the sink: sized once, never grown on the
     /// steady-state path.
     line_buf: String,
@@ -172,7 +172,7 @@ impl Telemetry {
     /// Install a streaming sink: every subsequent sample is appended to
     /// it as one JSONL line. The simulation never reads the sink, so
     /// installing one cannot perturb a run.
-    pub fn set_sink(&mut self, sink: Box<dyn Write>) {
+    pub fn set_sink(&mut self, sink: Box<dyn Write + Send>) {
         self.sink = Some(sink);
     }
 

@@ -37,7 +37,10 @@ pub enum LossKind {
 }
 
 /// A congestion-control algorithm.
-pub trait CongestionControl {
+///
+/// `Send` is required so a `Testbed` (which boxes its controllers) can be
+/// moved onto a parallel-engine worker thread.
+pub trait CongestionControl: Send {
     /// Process ACK feedback.
     fn on_ack(&mut self, sample: AckSample);
 

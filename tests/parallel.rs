@@ -1,0 +1,277 @@
+//! Differential tests for the deterministic parallel engine.
+//!
+//! The contract under test: thread count is *unobservable*. A coupled
+//! multi-host fleet must produce bit-identical `RunMetrics`, golden
+//! digests, fault counters and telemetry streams at 1, 2, 4 and 8
+//! shards (with batched and per-event dispatch), and a 1-shard fleet
+//! wrapping a single uncoupled host must replay the serial engine's
+//! historical goldens bit-for-bit — the epoch slicing itself must be
+//! invisible.
+
+use std::sync::{Arc, Mutex};
+
+use hostcc::experiment::RunPlan;
+use hostcc::fleet::{Fleet, FleetConfig};
+use hostcc::substrate::sim::{ParallelEngine, SimDuration};
+use hostcc::{
+    metrics_json, scenarios, FaultKind, FleetHost, RunMetrics, Simulation, TelemetryConfig,
+    TestbedConfig,
+};
+
+/// FNV-1a-64 over exported metrics JSON (same digest as the serial
+/// golden suite in `queue_equivalence.rs`).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn small_fleet(shards: u32) -> FleetConfig {
+    FleetConfig {
+        hosts: 5,
+        shards,
+        base: TestbedConfig {
+            senders: 6,
+            receiver_threads: 4,
+            ..TestbedConfig::default()
+        },
+        ..FleetConfig::coupled_fleet()
+    }
+}
+
+fn short_plan() -> RunPlan {
+    RunPlan {
+        warmup: SimDuration::from_millis(2),
+        measure: SimDuration::from_millis(4),
+    }
+}
+
+/// Run a fleet config and produce one digest tuple per host, plus the
+/// fleet-wide epoch and dispatch totals.
+fn fleet_digests(cfg: &FleetConfig, batched: bool, plan: RunPlan) -> (Vec<(u64, usize)>, u64, u64) {
+    let mut fleet = Fleet::new(cfg).expect("valid fleet");
+    for h in fleet.hosts_mut() {
+        h.sim_mut().set_batched(batched);
+    }
+    let metrics = fleet.run(plan).expect("fleet runs");
+    let digests = metrics
+        .iter()
+        .zip(fleet.hosts())
+        .map(|(m, h)| {
+            let json = metrics_json(m, &h.sim().world().counters, None);
+            (fnv64(json.as_bytes()), json.len())
+        })
+        .collect();
+    (digests, fleet.epochs(), fleet.dispatched_total())
+}
+
+/// The tentpole differential: the coupled fleet's per-host metrics JSON
+/// (headline numbers, histograms, stage breakdowns — everything the
+/// exporter covers) is bit-identical at 1/2/4/8 shards, with batched and
+/// per-event dispatch, and the epoch/dispatch totals agree too.
+#[test]
+fn fleet_digests_bit_identical_at_1_2_4_8_shards() {
+    let reference = fleet_digests(&small_fleet(1), true, short_plan());
+    assert_eq!(reference.0.len(), 5);
+    for shards in [2u32, 4, 8] {
+        let got = fleet_digests(&small_fleet(shards), true, short_plan());
+        assert_eq!(got, reference, "{shards} shards (batched)");
+    }
+    for shards in [1u32, 4] {
+        let got = fleet_digests(&small_fleet(shards), false, short_plan());
+        assert_eq!(got, reference, "{shards} shards (per-event)");
+    }
+}
+
+/// Fault counters survive sharding: a fleet whose hosts all run a
+/// recurring link-flap/replay schedule reports identical per-host
+/// `FaultSummary` values at every shard count.
+#[test]
+fn fault_counters_are_shard_count_invariant() {
+    let cfg_for = |shards: u32| {
+        let mut cfg = small_fleet(shards);
+        cfg.base.faults = cfg.base.faults.clone().recurring(
+            FaultKind::LinkFlap,
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(300),
+            SimDuration::from_millis(2),
+            3,
+        );
+        cfg.base.flow.partial_ack_rtx = true;
+        cfg
+    };
+    let run = |shards: u32| {
+        let mut fleet = Fleet::new(&cfg_for(shards)).expect("valid fleet");
+        fleet.run(short_plan()).expect("fleet runs")
+    };
+    let reference: Vec<RunMetrics> = run(1);
+    let summaries: Vec<_> = reference.iter().map(|m| m.faults).collect();
+    assert!(
+        summaries
+            .iter()
+            .all(|s| s.expect("fault plan active").windows_injected > 0),
+        "fault windows must actually open: {summaries:?}"
+    );
+    for shards in [2u32, 4] {
+        let got: Vec<_> = run(shards).iter().map(|m| m.faults).collect();
+        assert_eq!(got, summaries, "{shards} shards");
+    }
+}
+
+/// A `Write` sink backed by a shared buffer, so the telemetry JSONL
+/// stream can be read back after the fleet (and its worker threads) are
+/// done with it.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streaming telemetry is shard-count invariant byte-for-byte: each
+/// host's JSONL sample stream (timestamps, signal values, episode
+/// inputs) is identical whether the fleet ran on 1 or 4 worker threads.
+#[test]
+fn telemetry_streams_are_shard_count_invariant() {
+    let streams = |shards: u32| -> Vec<Vec<u8>> {
+        let mut cfg = small_fleet(shards);
+        cfg.hosts = 4;
+        cfg.base.telemetry = TelemetryConfig::enabled();
+        let mut fleet = Fleet::new(&cfg).expect("valid fleet");
+        let bufs: Vec<SharedBuf> = fleet
+            .hosts_mut()
+            .iter_mut()
+            .map(|h| {
+                let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+                h.sim_mut()
+                    .world_mut()
+                    .telemetry
+                    .set_sink(Box::new(buf.clone()));
+                buf
+            })
+            .collect();
+        fleet.run(short_plan()).expect("fleet runs");
+        bufs.into_iter()
+            .map(|b| std::mem::take(&mut *b.0.lock().unwrap()))
+            .collect()
+    };
+    let reference = streams(1);
+    assert!(
+        reference.iter().all(|s| s.len() > 1000),
+        "sampler must actually stream: {:?}",
+        reference.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    for shards in [2u32, 4] {
+        assert_eq!(streams(shards), reference, "{shards} shards");
+    }
+}
+
+/// Drive one uncoupled host through the parallel engine the way
+/// `Simulation::try_run` drives the serial engine: warmup slice, arm,
+/// measure slice, snapshot.
+fn run_on_parallel_engine(cfg: TestbedConfig, plan: RunPlan) -> (RunMetrics, u64, String) {
+    let host = FleetHost::new(Simulation::from_testbed(hostcc::Testbed::new(cfg)));
+    let mut engine = ParallelEngine::new(vec![host], 1, SimDuration::from_micros(8));
+    let t0 = engine.hosts()[0].sim().now();
+    let t1 = t0 + plan.warmup;
+    engine.run_to(t1);
+    engine.hosts_mut()[0].sim_mut().world_mut().arm_metrics(t1);
+    let t2 = t1 + plan.measure;
+    engine.run_to(t2);
+    let m = engine.hosts_mut()[0].sim_mut().world_mut().snapshot(t2);
+    let host = &engine.hosts()[0];
+    let json = metrics_json(&m, &host.sim().world().counters, None);
+    (m, host.sim().dispatched_total(), json)
+}
+
+/// A 1-shard fleet host must replay the serial engine bit-for-bit on all
+/// six historical golden scenarios — same dispatched-event counts, same
+/// metrics-JSON digests the serial suite (`queue_equivalence.rs`) pins.
+/// The lookahead-sliced `run_to` loop (an 8 µs epoch grid over a 15 ms
+/// run) must be indistinguishable from one big `run_until`.
+#[test]
+fn one_shard_fleet_matches_the_serial_goldens() {
+    let goldens = [
+        (
+            "incast",
+            scenarios::fig3(12, true),
+            (380592u64, 26857u64, 0x88de29425ec84dd2u64, 2124usize),
+        ),
+        (
+            "antagonist_0",
+            scenarios::fig6(0, true),
+            (380592, 26857, 0x88de29425ec84dd2, 2124),
+        ),
+        (
+            "antagonist_8",
+            scenarios::fig6(8, true),
+            (297964, 20444, 0xc0af09a8f4d253dc, 2108),
+        ),
+        (
+            "antagonist_15",
+            scenarios::fig6(15, true),
+            (236160, 17086, 0xdad182da58697905, 2108),
+        ),
+        (
+            "fleet_0",
+            fleet_cfg(0),
+            (387557, 28061, 0xe3e999e4e962f414, 1978),
+        ),
+        (
+            "fleet_1",
+            fleet_cfg(1),
+            (368793, 25738, 0x3acf8484a8bd19c7, 2132),
+        ),
+    ];
+    let plan = RunPlan::quick();
+    for (name, cfg, (dispatched, delivered, fnv, len)) in goldens {
+        let (m, got_dispatched, json) = run_on_parallel_engine(cfg, plan);
+        assert_eq!(got_dispatched, dispatched, "{name}: dispatched");
+        assert_eq!(m.delivered_packets, delivered, "{name}: delivered");
+        assert_eq!(json.len(), len, "{name}: metrics JSON length");
+        assert_eq!(
+            fnv64(json.as_bytes()),
+            fnv,
+            "{name}: parallel-engine digest diverged from the serial golden"
+        );
+    }
+}
+
+/// The two heterogeneous cluster-host shapes from the serial golden
+/// suite (same construction as `queue_equivalence::fleet_cfg`).
+fn fleet_cfg(host: usize) -> TestbedConfig {
+    let mut cfg = scenarios::with_mixed_reads(scenarios::baseline());
+    cfg.seed = 0xF1EE7 + host as u64;
+    cfg.receiver_threads = 8 + 4 * (host as u32 % 2);
+    cfg.antagonist_cores = 4 * (host as u32 % 3);
+    cfg
+}
+
+/// Cross-host coupling is real: cutting the fan-in changes what the
+/// receiving hosts deliver, so the differential tests above are not
+/// vacuously comparing isolated hosts.
+#[test]
+fn fan_in_actually_couples_hosts() {
+    let run = |fanin: u32| {
+        let mut cfg = small_fleet(1);
+        cfg.fanin = fanin;
+        let mut fleet = Fleet::new(&cfg).expect("valid fleet");
+        let m = fleet.run(short_plan()).expect("fleet runs");
+        m.iter().map(|m| m.delivered_packets).collect::<Vec<_>>()
+    };
+    let coupled = run(2);
+    let isolated = run(0);
+    assert_ne!(
+        coupled, isolated,
+        "remote flows must contribute delivered packets"
+    );
+}
