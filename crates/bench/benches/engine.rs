@@ -21,7 +21,7 @@
 use hostcc::experiment::RunPlan;
 use hostcc::fleet::{Fleet, FleetConfig};
 use hostcc::substrate::host::Event;
-use hostcc::substrate::sim::Queue;
+use hostcc::substrate::sim::{Queue, SimDuration};
 use hostcc::substrate::trace::json::JsonWriter;
 use hostcc::{scenarios, Simulation, TelemetryConfig, TestbedConfig};
 use hostcc_bench::{plan, quick};
@@ -300,6 +300,49 @@ fn run_telemetry_overhead(plan: &RunPlan) -> (QueueStats, QueueStats, u64) {
     (off, on, on_sim.world().telemetry.samples_taken())
 }
 
+/// Checkpoint overhead: serializing the full simulation every 5 simulated
+/// milliseconds versus an identical run that never checkpoints. Both legs
+/// advance through the same interleaved slice schedule (the campaign
+/// runner's default cadence), so the wall-clock ratio isolates the
+/// serializer itself. Returns (off, on, checkpoints, bytes-per-checkpoint).
+fn run_checkpoint_overhead(plan: &RunPlan) -> (QueueStats, QueueStats, u64, u64) {
+    const CADENCE: SimDuration = SimDuration::from_millis(5);
+    let cfg = scenarios::fig3(12, true);
+    let mut off_sim = Simulation::new(cfg.clone());
+    let mut on_sim = Simulation::new(cfg);
+    let warm_chunk = plan.warmup / WARMUP_CHUNKS;
+    for _ in 0..WARMUP_CHUNKS {
+        off_sim.advance(warm_chunk);
+        on_sim.advance(warm_chunk);
+    }
+    let mut off = QueueStats::default();
+    let mut on = QueueStats::default();
+    let mut checkpoints = 0u64;
+    let mut checkpoint_bytes = 0u64;
+    let mut remaining = plan.measure;
+    while remaining > SimDuration::ZERO {
+        let step = remaining.min(CADENCE);
+
+        let before = off_sim.dispatched_total();
+        let t = std::time::Instant::now();
+        off_sim.advance(step);
+        off.wall_nanos += t.elapsed().as_nanos() as u64;
+        off.events += off_sim.dispatched_total() - before;
+
+        let before = on_sim.dispatched_total();
+        let t = std::time::Instant::now();
+        on_sim.advance(step);
+        let bytes = on_sim.save_checkpoint().expect("slot-boundary checkpoint");
+        on.wall_nanos += t.elapsed().as_nanos() as u64;
+        on.events += on_sim.dispatched_total() - before;
+        checkpoints += 1;
+        checkpoint_bytes = bytes.len() as u64;
+
+        remaining -= step;
+    }
+    (off, on, checkpoints, checkpoint_bytes)
+}
+
 /// Steady-state allocation audit with the telemetry sampler running: the
 /// sample path (ring push, detector update, baseline Welford) must stay
 /// allocation-free once warm, same as the dispatch loop itself.
@@ -431,6 +474,43 @@ fn main() {
         tel_retries + 1
     );
 
+    // Checkpoint overhead: a full-state serialization every 5 simulated
+    // ms (the campaign runner's default cadence) must keep ≥ 95% of
+    // checkpoint-off wall-clock speed. Same retry discipline as the
+    // telemetry gate — the signal is a few percent against shared-runner
+    // jitter — with the same HOSTCC_BENCH_NO_GATE escape hatch.
+    const CKPT_FLOOR: f64 = 0.95;
+    const CKPT_RETRIES: u32 = 4;
+    let (mut c_off, mut c_on, mut c_count, mut c_bytes) = run_checkpoint_overhead(&plan);
+    let mut ckpt_best = speed_ratio(&c_off, &c_on);
+    let mut ckpt_retries = 0;
+    while ckpt_best < CKPT_FLOOR
+        && ckpt_retries < CKPT_RETRIES
+        && std::env::var_os("HOSTCC_BENCH_NO_GATE").is_none()
+    {
+        ckpt_retries += 1;
+        let (o, n, c, b) = run_checkpoint_overhead(&plan);
+        let ratio = speed_ratio(&o, &n);
+        println!("  checkpoint retry {ckpt_retries}: on/off speed = {ratio:.3}");
+        if ratio > ckpt_best {
+            (c_off, c_on, c_count, c_bytes) = (o, n, c, b);
+            ckpt_best = ratio;
+        }
+    }
+    let ckpt_ns_each = if c_count == 0 {
+        0.0
+    } else {
+        (c_on.wall_nanos as f64 - c_off.wall_nanos as f64) / c_count as f64
+    };
+    println!(
+        "checkpoint overhead: {c_count} checkpoint(s) of {c_bytes} B, on/off speed {ckpt_best:.3} (floor {CKPT_FLOOR}), ~{ckpt_ns_each:.0} ns each"
+    );
+    assert!(
+        std::env::var_os("HOSTCC_BENCH_NO_GATE").is_some() || ckpt_best >= CKPT_FLOOR,
+        "checkpoint-on run slower than {CKPT_FLOOR}x checkpoint-off across {} attempts (best {ckpt_best:.3}x)",
+        ckpt_retries + 1
+    );
+
     let revision = git_revision();
     let mut w = JsonWriter::new();
     w.begin_obj();
@@ -454,6 +534,16 @@ fn main() {
     w.key("steady_state_samples").int(tel_samples);
     w.key("off_events_per_sec").num(t_off.events_per_sec());
     w.key("on_events_per_sec").num(t_on.events_per_sec());
+    w.end_obj();
+    w.key("checkpoint").begin_obj();
+    w.key("cadence_ms").int(5);
+    w.key("checkpoints_per_run").int(c_count);
+    w.key("bytes_per_checkpoint").int(c_bytes);
+    w.key("ns_per_checkpoint").num(ckpt_ns_each);
+    w.key("on_off_speed_ratio").num(ckpt_best);
+    w.key("speed_floor").num(CKPT_FLOOR);
+    w.key("off_events_per_sec").num(c_off.events_per_sec());
+    w.key("on_events_per_sec").num(c_on.events_per_sec());
     w.end_obj();
     w.key("scenarios").begin_arr();
 

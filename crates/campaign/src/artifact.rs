@@ -1,0 +1,171 @@
+//! Crash-safe file primitives: atomic whole-file writes and the
+//! append-only completion journal.
+//!
+//! The crash model is `SIGKILL` (or power loss) at any instruction.
+//! Whole files — metric artifacts, checkpoints — are written to a
+//! `.tmp` sibling, fsynced, and renamed into place: a reader sees either
+//! the previous complete version or the new complete version. The
+//! journal is the one append-in-place file; a crash mid-append leaves at
+//! most one truncated trailing line, which [`read_journal`] detects and
+//! skips (with a count, so the caller can log it) rather than failing.
+
+use crate::{io_err, CampaignError};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Write `bytes` to `path` atomically: temp sibling + fsync + rename.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
+    let tmp = path.with_extension("tmp");
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// One completion-journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The grid point's label.
+    pub label: String,
+    /// `done` or `failed`.
+    pub status: String,
+    /// Simulated nanoseconds the point reached.
+    pub t_ns: u64,
+}
+
+impl JournalEntry {
+    /// Render as one JSONL line (labels are `[a-z0-9.+=;-]`, statuses are
+    /// fixed words — no escaping needed).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"status\":\"{}\",\"t_ns\":{}}}",
+            self.label, self.status, self.t_ns
+        )
+    }
+}
+
+/// Append one entry to the journal and fsync. Append is not atomic; the
+/// reader tolerates the torn trailing line a crash here can leave.
+pub fn append_journal(path: &Path, entry: &JournalEntry) -> Result<(), CampaignError> {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    let mut line = entry.to_line();
+    line.push('\n');
+    f.write_all(line.as_bytes()).map_err(|e| io_err(path, e))?;
+    f.sync_all().map_err(|e| io_err(path, e))
+}
+
+/// Read the journal, skipping (and counting) torn or unparsable lines.
+/// A missing journal is an empty one.
+pub fn read_journal(path: &Path) -> Result<(Vec<JournalEntry>, usize), CampaignError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let mut entries = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = (|| {
+            if !line.ends_with('}') {
+                return None;
+            }
+            Some(JournalEntry {
+                label: json_str_field(line, "label")?,
+                status: json_str_field(line, "status")?,
+                t_ns: json_u64_field(line, "t_ns")?,
+            })
+        })();
+        match parsed {
+            Some(e) => entries.push(e),
+            None => skipped += 1,
+        }
+    }
+    Ok((entries, skipped))
+}
+
+/// Extract `"key":"value"` from a flat JSON object line. Good enough for
+/// the artifacts this crate itself writes (no escapes, no nesting).
+pub fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extract `"key":123` from a flat JSON object line.
+pub fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hostcc-campaign-artifact-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let d = tmpdir("atomic");
+        let p = d.join("metrics.jsonl");
+        atomic_write(&p, b"one\n").unwrap();
+        atomic_write(&p, b"one\ntwo\n").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"one\ntwo\n");
+        assert!(!p.with_extension("tmp").exists(), "tmp renamed away");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn journal_round_trips_and_tolerates_torn_tail() {
+        let d = tmpdir("journal");
+        let p = d.join("journal.jsonl");
+        let a = JournalEntry {
+            label: "incast-s1-none-o0".into(),
+            status: "done".into(),
+            t_ns: 15_000_000,
+        };
+        let b = JournalEntry {
+            label: "incast-s2-replay-o0".into(),
+            status: "failed".into(),
+            t_ns: 7_500_000,
+        };
+        append_journal(&p, &a).unwrap();
+        append_journal(&p, &b).unwrap();
+        // Simulate a crash mid-append: a torn trailing line.
+        let mut f = fs::OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(b"{\"label\":\"incast-s3-none").unwrap();
+        drop(f);
+        let (entries, skipped) = read_journal(&p).unwrap();
+        assert_eq!(entries, vec![a, b]);
+        assert_eq!(skipped, 1, "torn line skipped, not fatal");
+        // A missing journal reads as empty.
+        let (entries, skipped) = read_journal(&d.join("absent.jsonl")).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(skipped, 0);
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,378 @@
+//! The campaign manifest: a small line-based text format describing a
+//! scenario × seed × fault × override grid.
+//!
+//! ```text
+//! # smoke.campaign — anything after '#' is a comment
+//! name = smoke
+//! warmup_ms = 5
+//! measure_ms = 10
+//! checkpoint_every_ms = 5
+//! scenarios = incast, antagonist-8
+//! seeds = 1, 2
+//! faults = none, replay
+//! overrides = none, threads=4;iommu=off
+//! ```
+//!
+//! The grid is the cartesian product in deterministic nesting order
+//! (scenario outermost, override innermost), so point labels and the
+//! completion journal are stable across re-parses — the property resume
+//! depends on.
+
+use crate::CampaignError;
+use hostcc::scenarios;
+use hostcc::{FaultKind, TestbedConfig};
+use hostcc_sim::SimDuration;
+use std::path::Path;
+
+/// Scenario names the campaign grid accepts (`antagonist-N` for any N).
+pub const SCENARIO_NAMES: &[&str] = &[
+    "baseline",
+    "incast",
+    "antagonist-N",
+    "blindspot",
+    "chaos-replay",
+    "chaos-flap",
+    "chaos-invalidate",
+];
+
+/// A parsed campaign manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name (artifact prefix; informational).
+    pub name: String,
+    /// Simulated warm-up discarded from the metrics.
+    pub warmup: SimDuration,
+    /// Simulated measurement interval.
+    pub measure: SimDuration,
+    /// Checkpoint cadence in simulated time. Also the slice grid: the
+    /// runner always drives runs in these slices (checkpoint or not) so
+    /// an interrupted-and-resumed run replays the identical schedule.
+    pub checkpoint_every: SimDuration,
+    /// Scenario names (outermost grid axis).
+    pub scenarios: Vec<String>,
+    /// RNG seeds.
+    pub seeds: Vec<u64>,
+    /// Fault-plan names (`none` for no faults).
+    pub faults: Vec<String>,
+    /// Config-override specs (`none` or `key=value[;key=value...]`).
+    pub overrides: Vec<String>,
+}
+
+/// One grid point: everything needed to build its configuration and to
+/// name its artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Position in the deterministic grid order.
+    pub index: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fault-plan name.
+    pub fault: String,
+    /// Index into [`Manifest::overrides`].
+    pub override_idx: usize,
+    /// The override spec itself.
+    pub override_spec: String,
+    /// Stable label: `{scenario}-s{seed}-{fault}-o{override_idx}`.
+    /// Restricted to `[a-z0-9.+=;-]`, so it is safe as a filename and
+    /// needs no escaping inside the hand-rolled JSON artifacts.
+    pub label: String,
+}
+
+impl Manifest {
+    /// Parse a manifest from text. Unknown keys, unparsable integers and
+    /// unknown scenario/fault/override names are all typed errors.
+    pub fn parse(text: &str) -> Result<Manifest, CampaignError> {
+        let mut m = Manifest {
+            name: "campaign".to_string(),
+            warmup: SimDuration::from_millis(5),
+            measure: SimDuration::from_millis(10),
+            checkpoint_every: SimDuration::from_millis(5),
+            scenarios: Vec::new(),
+            seeds: vec![1],
+            faults: vec!["none".to_string()],
+            overrides: vec!["none".to_string()],
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(CampaignError::Manifest {
+                    line: lineno,
+                    reason: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let ms = |v: &str| -> Result<SimDuration, CampaignError> {
+                v.parse::<u64>().map(SimDuration::from_millis).map_err(|_| {
+                    CampaignError::Manifest {
+                        line: lineno,
+                        reason: format!("`{key}` wants an integer millisecond count, got `{v}`"),
+                    }
+                })
+            };
+            let list = |v: &str| -> Vec<String> {
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            };
+            match key {
+                "name" => m.name = value.to_string(),
+                "warmup_ms" => m.warmup = ms(value)?,
+                "measure_ms" => m.measure = ms(value)?,
+                "checkpoint_every_ms" => m.checkpoint_every = ms(value)?,
+                "scenarios" => m.scenarios = list(value),
+                "faults" => m.faults = list(value),
+                "overrides" => m.overrides = list(value),
+                "seeds" => {
+                    m.seeds = Vec::new();
+                    for s in list(value) {
+                        m.seeds
+                            .push(s.parse::<u64>().map_err(|_| CampaignError::Manifest {
+                                line: lineno,
+                                reason: format!("`seeds` wants integers, got `{s}`"),
+                            })?);
+                    }
+                }
+                other => {
+                    return Err(CampaignError::Manifest {
+                        line: lineno,
+                        reason: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        if m.scenarios.is_empty() {
+            return Err(CampaignError::Manifest {
+                line: 0,
+                reason: "`scenarios` must list at least one scenario".to_string(),
+            });
+        }
+        if m.seeds.is_empty() || m.faults.is_empty() || m.overrides.is_empty() {
+            return Err(CampaignError::Manifest {
+                line: 0,
+                reason: "`seeds`, `faults` and `overrides` must be non-empty".to_string(),
+            });
+        }
+        if m.checkpoint_every.as_nanos() == 0 || m.measure.as_nanos() == 0 {
+            return Err(CampaignError::Manifest {
+                line: 0,
+                reason: "`checkpoint_every_ms` and `measure_ms` must be positive".to_string(),
+            });
+        }
+        // Validate every grid point now, so a typo fails the whole
+        // campaign up front instead of mid-run at point 37.
+        for p in m.points() {
+            m.build_config(&p)?;
+        }
+        Ok(m)
+    }
+
+    /// Load and parse a manifest file.
+    pub fn load(path: &Path) -> Result<Manifest, CampaignError> {
+        let text = std::fs::read_to_string(path).map_err(|e| crate::io_err(path, e))?;
+        Manifest::parse(&text)
+    }
+
+    /// The grid, in deterministic order: scenarios ▸ seeds ▸ faults ▸
+    /// overrides, innermost fastest.
+    pub fn points(&self) -> Vec<PointSpec> {
+        let mut out = Vec::new();
+        for scenario in &self.scenarios {
+            for &seed in &self.seeds {
+                for fault in &self.faults {
+                    for (oi, ov) in self.overrides.iter().enumerate() {
+                        let label = format!("{scenario}-s{seed}-{fault}-o{oi}");
+                        out.push(PointSpec {
+                            index: out.len(),
+                            scenario: scenario.clone(),
+                            seed,
+                            fault: fault.clone(),
+                            override_idx: oi,
+                            override_spec: ov.clone(),
+                            label,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Find a grid point by label.
+    pub fn find_point(&self, label: &str) -> Result<PointSpec, CampaignError> {
+        self.points()
+            .into_iter()
+            .find(|p| p.label == label)
+            .ok_or_else(|| CampaignError::UnknownPoint(label.to_string()))
+    }
+
+    /// Build the testbed configuration for one grid point.
+    pub fn build_config(&self, p: &PointSpec) -> Result<TestbedConfig, CampaignError> {
+        let mut cfg = scenario_config(&p.scenario)?;
+        apply_override(&mut cfg, &p.override_spec)?;
+        apply_fault(&mut cfg, &p.fault)?;
+        cfg.seed = p.seed;
+        Ok(cfg)
+    }
+}
+
+/// Resolve a campaign scenario name to a base configuration. A campaign
+/// subset of the CLI registry: the paper's load-bearing setups plus the
+/// chaos scenarios bisect exists for.
+fn scenario_config(name: &str) -> Result<TestbedConfig, CampaignError> {
+    if let Some(n) = name.strip_prefix("antagonist-") {
+        let cores: u32 = n
+            .parse()
+            .map_err(|_| CampaignError::UnknownScenario(name.to_string()))?;
+        return Ok(scenarios::fig6(cores, true));
+    }
+    Ok(match name {
+        "baseline" => scenarios::baseline(),
+        "incast" => scenarios::fig3(12, true),
+        "blindspot" => scenarios::cc_blindspot(14, 100),
+        "chaos-replay" => scenarios::chaos_replay(),
+        "chaos-flap" => scenarios::chaos_flap(),
+        "chaos-invalidate" => scenarios::chaos_invalidate(),
+        other => return Err(CampaignError::UnknownScenario(other.to_string())),
+    })
+}
+
+/// Apply an override spec (`none` or `key=value[;key=value...]`).
+fn apply_override(cfg: &mut TestbedConfig, spec: &str) -> Result<(), CampaignError> {
+    if spec == "none" {
+        return Ok(());
+    }
+    for kv in spec.split(';').filter(|s| !s.is_empty()) {
+        let Some((key, value)) = kv.split_once('=') else {
+            return Err(CampaignError::BadOverride(spec.to_string()));
+        };
+        let bad = || CampaignError::BadOverride(spec.to_string());
+        match key {
+            "threads" => cfg.receiver_threads = value.parse().map_err(|_| bad())?,
+            "senders" => cfg.senders = value.parse().map_err(|_| bad())?,
+            "antagonists" => cfg.antagonist_cores = value.parse().map_err(|_| bad())?,
+            "iommu" => {
+                cfg.iommu.enabled = match value {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err(bad()),
+                }
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok(())
+}
+
+/// Apply a named fault as the same canned recurring train the CLI's
+/// `--faults` flag uses: 1 ms windows every 5 ms from t = 6 ms, nine
+/// occurrences.
+fn apply_fault(cfg: &mut TestbedConfig, name: &str) -> Result<(), CampaignError> {
+    if name == "none" {
+        return Ok(());
+    }
+    let kind = match name {
+        "replay" => FaultKind::PcieReplay { nak_rate: 0.3 },
+        "flap" => FaultKind::LinkFlap,
+        "stall" => FaultKind::DescriptorStall,
+        "storm" => FaultKind::IotlbStorm {
+            flush_period: SimDuration::from_micros(50),
+        },
+        "throttle" => FaultKind::MemThrottle { factor: 0.4 },
+        "preempt" => FaultKind::CorePreempt { cores: 2 },
+        other => return Err(CampaignError::UnknownFault(other.to_string())),
+    };
+    cfg.faults = cfg.faults.clone().recurring(
+        kind,
+        SimDuration::from_millis(6),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(5),
+        9,
+    );
+    cfg.flow.partial_ack_rtx = true;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = "\
+        # comment line\n\
+        name = smoke\n\
+        warmup_ms = 1\n\
+        measure_ms = 2\n\
+        checkpoint_every_ms = 1\n\
+        scenarios = incast, antagonist-8\n\
+        seeds = 1, 2\n\
+        faults = none, replay\n\
+        overrides = none, threads=4;iommu=off\n";
+
+    #[test]
+    fn parses_and_builds_the_full_grid() {
+        let m = Manifest::parse(SMOKE).expect("valid manifest");
+        assert_eq!(m.name, "smoke");
+        assert_eq!(m.warmup, SimDuration::from_millis(1));
+        let pts = m.points();
+        assert_eq!(pts.len(), 2 * 2 * 2 * 2);
+        // Deterministic order and stable labels.
+        assert_eq!(pts[0].label, "incast-s1-none-o0");
+        assert_eq!(pts[1].label, "incast-s1-none-o1");
+        assert_eq!(pts[15].label, "antagonist-8-s2-replay-o1");
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index, i);
+            let cfg = m.build_config(p).expect("every point builds");
+            assert_eq!(cfg.seed, p.seed);
+        }
+        // The override actually lands.
+        let p = pts.iter().find(|p| p.override_idx == 1).unwrap();
+        let cfg = m.build_config(p).unwrap();
+        assert_eq!(cfg.receiver_threads, 4);
+        assert!(!cfg.iommu.enabled);
+        // The fault plan actually lands.
+        let p = pts.iter().find(|p| p.fault == "replay").unwrap();
+        let cfg = m.build_config(p).unwrap();
+        assert!(!cfg.faults.specs.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        let err = Manifest::parse("scenarios = incast\nbogus_key = 3\n").unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Manifest { line: 2, .. }),
+            "{err}"
+        );
+        let err = Manifest::parse("scenarios = incast\nseeds = x\n").unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Manifest { line: 2, .. }),
+            "{err}"
+        );
+        let err = Manifest::parse("name = empty\n").unwrap_err();
+        assert!(matches!(err, CampaignError::Manifest { .. }), "{err}");
+        let err = Manifest::parse("scenarios = warp-drive\n").unwrap_err();
+        assert!(matches!(err, CampaignError::UnknownScenario(_)), "{err}");
+        let err = Manifest::parse("scenarios = incast\nfaults = gremlin\n").unwrap_err();
+        assert!(matches!(err, CampaignError::UnknownFault(_)), "{err}");
+        let err = Manifest::parse("scenarios = incast\noverrides = depth=11\n").unwrap_err();
+        assert!(matches!(err, CampaignError::BadOverride(_)), "{err}");
+    }
+
+    #[test]
+    fn find_point_round_trips_labels() {
+        let m = Manifest::parse(SMOKE).unwrap();
+        for p in m.points() {
+            assert_eq!(m.find_point(&p.label).unwrap(), p);
+        }
+        assert!(matches!(
+            m.find_point("nope"),
+            Err(CampaignError::UnknownPoint(_))
+        ));
+    }
+}

@@ -65,6 +65,7 @@ const SWITCHES: &[&str] = &[
     "help",
     "flight-recorder",
     "fuse-chains",
+    "resume",
 ];
 
 /// Value-taking flags the CLI understands. Anything else is a typo the
@@ -92,6 +93,11 @@ const VALUE_FLAGS: &[&str] = &[
     "shards",
     "fanin",
     "fabric-us",
+    "manifest",
+    "out",
+    "point",
+    "step-us",
+    "abort-after-slices",
 ];
 
 /// Parse a raw argument vector (excluding argv[0]).

@@ -18,7 +18,11 @@ use hostcc::{
     chrome_trace_json, metrics_json, CcKind, FaultKind, RunMetrics, Simulation, TelemetryConfig,
     TestbedConfig, TraceConfig,
 };
+use hostcc_campaign::{
+    bisect as campaign_bisect, execute as campaign_execute, ExecuteOptions, Manifest,
+};
 use hostcc_sim::SimDuration;
+use std::path::Path;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +57,7 @@ fn dispatch(argv: Vec<String>) -> Result<(), String> {
         "run" => cmd_run(&parsed).map_err(|e| e.to_string()),
         "sweep" => cmd_sweep(&parsed).map_err(|e| e.to_string()),
         "fleet" => cmd_fleet(&parsed).map_err(|e| e.to_string()),
+        "campaign" => cmd_campaign(&parsed).map_err(|e| e.to_string()),
         other => Err(format!("unknown command `{other}`; try `hostcc help`")),
     }
 }
@@ -66,6 +71,8 @@ fn print_help() {
          \u{20}  hostcc run <scenario> [overrides]\n\
          \u{20}  hostcc sweep <scenario> --threads A..B [overrides]\n\
          \u{20}  hostcc fleet [--hosts N] [--shards N] [overrides]\n\
+         \u{20}  hostcc campaign run --manifest FILE --out DIR [--resume]\n\
+         \u{20}  hostcc campaign bisect --manifest FILE --out DIR --point LABEL\n\
          \n\
          OVERRIDES:\n\
          \u{20}  --threads N         receiver cores\n\
@@ -122,8 +129,111 @@ fn print_help() {
          \u{20}  --flight-recorder        capture retroactive sample dumps\n\
          \u{20}                           on drop bursts / faults / stalls\n\
          \u{20}  (any telemetry flag enables the sampler; episodes and\n\
-         \u{20}   attributions land in the --json telemetry section)"
+         \u{20}   attributions land in the --json telemetry section)\n\
+         \n\
+         CAMPAIGN (campaign command):\n\
+         \u{20}  campaign run        execute a manifest grid with periodic\n\
+         \u{20}                      checkpoints and crash-safe JSONL\n\
+         \u{20}                      artifacts under --out\n\
+         \u{20}  campaign bisect     replay one point from its pre-fault\n\
+         \u{20}                      checkpoint, factual vs faults-suppressed,\n\
+         \u{20}                      and report the first divergent slot\n\
+         \u{20}  --manifest FILE     campaign manifest (key = value lines;\n\
+         \u{20}                      see EXPERIMENTS.md for the format)\n\
+         \u{20}  --out DIR           artifact directory (journal.jsonl,\n\
+         \u{20}                      points/, checkpoints/, bisect/)\n\
+         \u{20}  --resume            skip journaled points and restore\n\
+         \u{20}                      in-flight ones from checkpoints\n\
+         \u{20}  --point LABEL       grid point to bisect\n\
+         \u{20}  --step-us N         bisect replay quantum (default 250)"
     );
+}
+
+fn cmd_campaign(p: &ParsedArgs) -> Result<(), String> {
+    let sub = p
+        .positionals
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| "campaign needs a subcommand: run or bisect".to_string())?;
+    let manifest_path = p
+        .flags
+        .get("manifest")
+        .ok_or_else(|| "campaign needs --manifest FILE".to_string())?;
+    let out = p
+        .flags
+        .get("out")
+        .ok_or_else(|| "campaign needs --out DIR".to_string())?;
+    let manifest = Manifest::load(Path::new(manifest_path)).map_err(|e| e.to_string())?;
+    let out = Path::new(out);
+    let mut log = |msg: &str| println!("{msg}");
+    match sub {
+        "run" => {
+            let abort: u64 = p
+                .get_parsed("abort-after-slices", 0, "integer")
+                .map_err(|e| e.to_string())?;
+            let opts = ExecuteOptions {
+                resume: p.switch("resume"),
+                abort_after_slices: (abort > 0).then_some(abort),
+            };
+            let report =
+                campaign_execute(&manifest, out, &opts, &mut log).map_err(|e| e.to_string())?;
+            println!(
+                "campaign `{}`: {} completed, {} skipped, {} resumed, \
+                 {} checkpoint fallback(s), {} failed{}",
+                manifest.name,
+                report.completed.len(),
+                report.skipped.len(),
+                report.resumed.len(),
+                report.fallbacks.len(),
+                report.failed.len(),
+                if report.aborted { " (aborted)" } else { "" },
+            );
+            for (label, why) in &report.failed {
+                eprintln!("error: point `{label}`: {why}");
+            }
+            if report.failed.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} point(s) failed", report.failed.len()))
+            }
+        }
+        "bisect" => {
+            let label = p
+                .flags
+                .get("point")
+                .ok_or_else(|| "campaign bisect needs --point LABEL".to_string())?;
+            let step_us: u64 = p
+                .get_parsed("step-us", 250, "integer")
+                .map_err(|e| e.to_string())?;
+            let rep = campaign_bisect(
+                &manifest,
+                out,
+                label,
+                SimDuration::from_micros(step_us.max(1)),
+                &mut log,
+            )
+            .map_err(|e| e.to_string())?;
+            match rep.first_divergence_ns {
+                Some(t) => println!(
+                    "first divergent slot: {t} ns (replayed {}..{} ns in {} ns quanta, \
+                     {} steps; details in bisect/{}.jsonl)",
+                    rep.from_ns, rep.until_ns, rep.step_ns, rep.steps, rep.label
+                ),
+                None => println!(
+                    "no state divergence in {}..{} ns — the fault plan left \
+                     this run bit-identical",
+                    rep.from_ns, rep.until_ns
+                ),
+            }
+            if let Some(at) = rep.stalled_ns {
+                println!("factual replica stalled at {at} ns");
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown campaign subcommand `{other}`; use run or bisect"
+        )),
+    }
 }
 
 fn cmd_list() {

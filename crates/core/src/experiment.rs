@@ -81,9 +81,27 @@ pub struct SweepPoint<L> {
 /// Every configuration is validated up front, so a bad point fails fast
 /// before any simulation spins up; a mid-sweep watchdog stall surfaces as
 /// the first erroring point's [`RunError`].
-pub fn sweep<L: Send>(
+///
+/// Worker panics are contained at the point boundary: a panicking point
+/// becomes [`RunError::WorkerPanicked`] (carrying the point index, its
+/// label, and the panic payload) while every other point still runs to
+/// completion — one poisoned configuration cannot take down a campaign's
+/// whole grid.
+pub fn sweep<L: Send + std::fmt::Debug>(
     points: Vec<(L, TestbedConfig)>,
     plan: RunPlan,
+) -> Result<Vec<SweepPoint<L>>, RunError> {
+    sweep_with(points, plan, run)
+}
+
+/// [`sweep`] with a caller-supplied runner for one point. The panic
+/// containment contract is tested through this seam (the production
+/// runner is panic-free by design, so a panicking stand-in is the only
+/// way to exercise the recovery path).
+pub fn sweep_with<L: Send + std::fmt::Debug>(
+    points: Vec<(L, TestbedConfig)>,
+    plan: RunPlan,
+    runner: impl Fn(TestbedConfig, RunPlan) -> Result<RunMetrics, RunError> + Sync,
 ) -> Result<Vec<SweepPoint<L>>, RunError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
@@ -104,6 +122,7 @@ pub fn sweep<L: Send>(
     }
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<RunMetrics, RunError>)>();
+    let runner = &runner;
     std::thread::scope(|scope| {
         for _ in 0..parallelism {
             let tx = tx.clone();
@@ -114,8 +133,21 @@ pub fn sweep<L: Send>(
                 let Some(cfg) = configs.get(idx) else {
                     break;
                 };
+                // Contain a panicking point so the thread survives to run
+                // its remaining points; the label is filled in later (the
+                // worker only knows indices).
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    runner(cfg.clone(), plan)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(RunError::WorkerPanicked {
+                        point: idx,
+                        label: String::new(),
+                        message: panic_message(payload.as_ref()),
+                    })
+                });
                 // The receiver outlives the scope, so sends cannot fail.
-                let _ = tx.send((idx, run(cfg.clone(), plan)));
+                let _ = tx.send((idx, outcome));
             });
         }
     });
@@ -128,13 +160,34 @@ pub fn sweep<L: Send>(
         .into_iter()
         .zip(&mut labels)
         .map(|(slot, label)| {
-            let metrics = slot.expect("all points ran")?;
+            let metrics = match slot.expect("all points ran") {
+                Ok(m) => m,
+                Err(RunError::WorkerPanicked { point, message, .. }) => {
+                    return Err(RunError::WorkerPanicked {
+                        point,
+                        label: format!("{:?}", label.as_ref().expect("label present")),
+                        message,
+                    });
+                }
+                Err(e) => return Err(e),
+            };
             Ok(SweepPoint {
                 label: label.take().expect("each label consumed once"),
                 metrics,
             })
         })
         .collect()
+}
+
+/// Render a caught panic payload to text (empty for non-string payloads).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::new()
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +233,53 @@ mod tests {
         assert_eq!(par[0].metrics.delivered_packets, seq.delivered_packets);
         assert_eq!(par[0].metrics.host_drops(), seq.host_drops());
         assert_eq!(par[0].metrics.iotlb_misses, seq.iotlb_misses);
+    }
+
+    #[test]
+    fn panicking_point_is_contained_and_typed() {
+        // Point 1 panics; points 0 and 2 must still complete, and the
+        // sweep must surface a typed WorkerPanicked naming the point.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        // Silence the default panic hook's backtrace noise for the
+        // intentional panic (restored before asserting).
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = sweep_with(
+            vec![
+                ("ok-a", tiny_cfg(2)),
+                ("boom", tiny_cfg(3)),
+                ("ok-b", tiny_cfg(4)),
+            ],
+            RunPlan::quick(),
+            |cfg, plan| {
+                if cfg.receiver_threads == 3 {
+                    panic!("injected worker panic");
+                }
+                let m = run(cfg, plan)?;
+                completed.fetch_add(1, Ordering::SeqCst);
+                Ok(m)
+            },
+        );
+        std::panic::set_hook(prev);
+        let err = out.expect_err("panicking point must surface");
+        match &err {
+            RunError::WorkerPanicked {
+                point,
+                label,
+                message,
+            } => {
+                assert_eq!(*point, 1);
+                assert!(label.contains("boom"), "{label}");
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            2,
+            "surviving points must still run to completion"
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@
 use crate::experiment::RunPlan;
 use hostcc_host::ConfigError;
 use hostcc_host::{FleetHost, RunError, RunMetrics, Simulation, Testbed, TestbedConfig};
-use hostcc_sim::{stream_seed, ParallelEngine, SimDuration, SimTime};
+use hostcc_sim::{
+    fnv1a_64, stream_seed, ParallelEngine, SimDuration, SimTime, SnapError, SnapReader, SnapWriter,
+};
 
 /// Domain constant separating per-host seed derivation from every other
 /// `stream_seed` consumer (per-thread recycling streams use the raw
@@ -128,11 +130,59 @@ impl FleetConfig {
         }
         Ok(())
     }
+
+    /// Identity hash over everything that determines the fleet's event
+    /// evolution. The shard count is deliberately *excluded*: the engine
+    /// is shard-count-invariant, so a checkpoint taken at `--shards 1`
+    /// must restore at `--shards 4` (and vice versa) bit-identically.
+    pub fn fingerprint(&self) -> u64 {
+        let id = format!(
+            "hosts={};seed={};fabric_latency_ns={};fanin={};heterogeneous={};base={:?}",
+            self.hosts,
+            self.seed,
+            self.fabric_latency.as_nanos(),
+            self.fanin,
+            self.heterogeneous,
+            self.base,
+        );
+        fnv1a_64(id.as_bytes())
+    }
+}
+
+/// Build every host testbed and wire the cross-host flows, in
+/// deterministic host-id order, without starting anything. `Fleet::new`
+/// starts these; checkpoint restore instead overwrites their state.
+fn build_wired_testbeds(cfg: &FleetConfig) -> Vec<Testbed> {
+    let n = cfg.hosts;
+    let mut testbeds: Vec<Testbed> = (0..n)
+        .map(|h| {
+            let mut tb = Testbed::new(cfg.host_config(h));
+            tb.enable_fabric(h, cfg.fabric_latency);
+            tb
+        })
+        .collect();
+    // Fan-in wiring: host b receives from its next `fanin` neighbours.
+    // The receiver half needs the sender's return address up front, so
+    // the sender's upcoming flow index is read before either side is
+    // allocated.
+    for b in 0..n {
+        for k in 1..=cfg.fanin {
+            let a = (b + k) % n;
+            let thread = (k - 1) % testbeds[b as usize].config().receiver_threads.max(1);
+            let src_flow = testbeds[a as usize].next_remote_flow();
+            let (_, dst_id, frontier) =
+                testbeds[b as usize].add_remote_receiver(a, src_flow, thread);
+            let got = testbeds[a as usize].add_remote_sender(b, dst_id, frontier);
+            debug_assert_eq!(got, src_flow, "sender slot prediction out of sync");
+        }
+    }
+    testbeds
 }
 
 /// A built fleet, ready to run in epoch slices on the parallel engine.
 pub struct Fleet {
     engine: ParallelEngine<FleetHost>,
+    cfg: FleetConfig,
 }
 
 impl Fleet {
@@ -141,35 +191,78 @@ impl Fleet {
     /// execution schedule), and start the simulations.
     pub fn new(cfg: &FleetConfig) -> Result<Fleet, RunError> {
         cfg.validate()?;
-        let n = cfg.hosts;
-        let mut testbeds: Vec<Testbed> = (0..n)
-            .map(|h| {
-                let mut tb = Testbed::new(cfg.host_config(h));
-                tb.enable_fabric(h, cfg.fabric_latency);
-                tb
-            })
-            .collect();
-        // Fan-in wiring: host b receives from its next `fanin` neighbours.
-        // The receiver half needs the sender's return address up front, so
-        // the sender's upcoming flow index is read before either side is
-        // allocated.
-        for b in 0..n {
-            for k in 1..=cfg.fanin {
-                let a = (b + k) % n;
-                let thread = (k - 1) % testbeds[b as usize].config().receiver_threads.max(1);
-                let src_flow = testbeds[a as usize].next_remote_flow();
-                let (_, dst_id, frontier) =
-                    testbeds[b as usize].add_remote_receiver(a, src_flow, thread);
-                let got = testbeds[a as usize].add_remote_sender(b, dst_id, frontier);
-                debug_assert_eq!(got, src_flow, "sender slot prediction out of sync");
-            }
-        }
-        let hosts: Vec<FleetHost> = testbeds
+        let hosts: Vec<FleetHost> = build_wired_testbeds(cfg)
             .into_iter()
             .map(|tb| FleetHost::new(Simulation::from_testbed(tb)))
             .collect();
         Ok(Fleet {
             engine: ParallelEngine::new(hosts, cfg.shards as usize, cfg.fabric_latency),
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// The configuration this fleet was built from.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Serialize the whole fleet — epoch counter plus every host's full
+    /// checkpoint — into one self-validating envelope. Call only between
+    /// `run_to` slices (a slot boundary: cross-host messages are drained
+    /// into destination queues, so there is no engine message state to
+    /// save). Refuses, typed, when any host's watchdog has tripped.
+    ///
+    /// Bit-exact resume requires the comparison run to share the same
+    /// `run_to` slice schedule: every deadline clamps the epoch grid,
+    /// which fixes how same-timestamp cross-host envelopes interleave
+    /// with local events. The campaign runner therefore slices fleets at
+    /// its checkpoint cadence whether or not a checkpoint is written.
+    pub fn save_checkpoint(&self) -> Result<Vec<u8>, SnapError> {
+        if self.engine.hosts().iter().any(|h| h.stalled_at().is_some()) {
+            return Err(SnapError::Unsupported("checkpoint of a stalled fleet"));
+        }
+        let mut w = SnapWriter::new();
+        w.u64(self.cfg.fingerprint());
+        w.u64(self.engine.epochs());
+        w.usize(self.engine.hosts().len());
+        for h in self.engine.hosts() {
+            let inner = h.sim().save_checkpoint()?;
+            w.bytes(&inner);
+        }
+        Ok(w.into_envelope())
+    }
+
+    /// Rebuild a fleet from [`save_checkpoint`](Self::save_checkpoint)
+    /// output and the identical configuration — except `shards`, which
+    /// may differ freely (determinism is shard-count-invariant, so a
+    /// resume may use more or fewer workers than the original run). Any
+    /// corruption, truncation, version or config mismatch is a typed
+    /// error, never a panic.
+    pub fn restore_checkpoint(cfg: &FleetConfig, bytes: &[u8]) -> Result<Fleet, RunError> {
+        cfg.validate()?;
+        let mut r = SnapReader::open(bytes)?;
+        if r.u64()? != cfg.fingerprint() {
+            return Err(SnapError::Corrupt("fleet fingerprint mismatch").into());
+        }
+        let epochs = r.u64()?;
+        // Each host entry is at least a length prefix (8 B).
+        let n = r.len(8)?;
+        if n != cfg.hosts as usize {
+            return Err(SnapError::Corrupt("fleet host count mismatch").into());
+        }
+        let mut hosts = Vec::with_capacity(n);
+        for tb in build_wired_testbeds(cfg) {
+            let inner = r.bytes()?;
+            hosts.push(FleetHost::new(Simulation::restore_checkpoint_into(
+                tb, inner,
+            )?));
+        }
+        r.finish()?;
+        let mut engine = ParallelEngine::new(hosts, cfg.shards as usize, cfg.fabric_latency);
+        engine.set_epochs(epochs);
+        Ok(Fleet {
+            engine,
+            cfg: cfg.clone(),
         })
     }
 
@@ -197,8 +290,26 @@ impl Fleet {
     }
 
     fn check_stalls(&mut self) -> Result<(), RunError> {
-        for h in self.engine.hosts_mut() {
-            h.check_stalled()?;
+        let shards = self.engine.shards();
+        for (i, h) in self.engine.hosts_mut().iter_mut().enumerate() {
+            // Attribute the stall: which host froze, and which worker
+            // shard was driving it (hosts partition round-robin, so host
+            // i runs on shard i % S).
+            h.check_stalled().map_err(|e| match e {
+                RunError::Stalled {
+                    at,
+                    pending,
+                    telemetry,
+                    ..
+                } => RunError::Stalled {
+                    at,
+                    pending,
+                    host: Some(i),
+                    shard: Some(i % shards),
+                    telemetry,
+                },
+                other => other,
+            })?;
         }
         Ok(())
     }
@@ -324,6 +435,104 @@ mod tests {
         let mut cfg = small_fleet(1);
         cfg.hosts = 0;
         assert!(Fleet::new(&cfg).is_err());
+    }
+
+    /// Checkpoint/restore at a `run_to` boundary is bit-exact: a run
+    /// that saves and restores mid-warmup (even at a different shard
+    /// count) matches a run driven through the *same slice schedule*
+    /// without any checkpoint. The slice schedule matters: the epoch
+    /// grid (`gmin + lookahead`, clamped at every `run_to` deadline)
+    /// fixes how cross-host envelopes interleave with same-timestamp
+    /// local events, so the reference must share the cadence — which is
+    /// why the campaign runner always drives fleets at its checkpoint
+    /// cadence whether or not a checkpoint is actually written.
+    #[test]
+    fn fleet_checkpoint_roundtrip_is_bit_identical() {
+        let plan = RunPlan {
+            warmup: SimDuration::from_millis(1),
+            measure: SimDuration::from_millis(2),
+        };
+        let mid = SimTime::ZERO + SimDuration::from_micros(500);
+        let t1 = SimTime::ZERO + plan.warmup;
+        let t2 = t1 + plan.measure;
+        let finish = |fleet: &mut Fleet| -> Vec<RunMetrics> {
+            fleet.run_to(t1).expect("warmup");
+            for h in fleet.hosts_mut() {
+                h.sim_mut().world_mut().arm_metrics(t1);
+            }
+            fleet.run_to(t2).expect("measure");
+            fleet
+                .hosts_mut()
+                .iter_mut()
+                .map(|h| h.sim_mut().world_mut().snapshot(t2))
+                .collect()
+        };
+
+        // Reference: same slice schedule, no checkpoint taken.
+        let mut reference = Fleet::new(&small_fleet(1)).expect("valid fleet");
+        reference.run_to(mid).expect("front half");
+        let ref_metrics = finish(&mut reference);
+
+        // Interrupted: checkpoint at `mid`, restore at a DIFFERENT shard
+        // count, finish identically.
+        let mut front = Fleet::new(&small_fleet(1)).expect("valid fleet");
+        front.run_to(mid).expect("front half");
+        let snap = front.save_checkpoint().expect("checkpoint");
+        drop(front);
+        let mut back = Fleet::restore_checkpoint(&small_fleet(4), &snap).expect("restore");
+        assert_eq!(back.shards(), 4, "resume honours the new shard count");
+        let resumed = finish(&mut back);
+
+        assert_eq!(ref_metrics.len(), resumed.len());
+        for (h, (a, b)) in ref_metrics.iter().zip(resumed.iter()).enumerate() {
+            assert_eq!(
+                a.delivered_packets, b.delivered_packets,
+                "host {h} delivered_packets"
+            );
+            assert_eq!(
+                a.delivered_payload_bytes, b.delivered_payload_bytes,
+                "host {h} bytes"
+            );
+            assert_eq!(a.host_drops(), b.host_drops(), "host {h} drops");
+            assert_eq!(a.retransmits, b.retransmits, "host {h} retransmits");
+            assert_eq!(
+                a.host_delay_p99_us().to_bits(),
+                b.host_delay_p99_us().to_bits(),
+                "host {h} p99"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_checkpoint_rejects_mismatched_config() {
+        let mut fleet = Fleet::new(&small_fleet(1)).expect("valid fleet");
+        fleet
+            .run_to(SimTime::ZERO + SimDuration::from_micros(200))
+            .expect("runs");
+        let snap = fleet.save_checkpoint().expect("checkpoint");
+
+        // Different seed → fingerprint mismatch, typed error.
+        let mut other = small_fleet(1);
+        other.seed ^= 1;
+        let err = match Fleet::restore_checkpoint(&other, &snap) {
+            Ok(_) => panic!("mismatched seed must not restore"),
+            Err(e) => e,
+        };
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "unexpected error: {err}"
+        );
+
+        // Different shard count alone is NOT a mismatch.
+        assert!(Fleet::restore_checkpoint(&small_fleet(2), &snap).is_ok());
+
+        // Corruption → typed error, never a panic.
+        let mut bad = snap.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(Fleet::restore_checkpoint(&small_fleet(1), &bad).is_err());
+        let truncated = &snap[..snap.len() - 9];
+        assert!(Fleet::restore_checkpoint(&small_fleet(1), truncated).is_err());
     }
 
     #[test]

@@ -32,3 +32,40 @@ pub enum WireMsg {
         frontier: u64,
     },
 }
+
+impl WireMsg {
+    /// Serialize an in-flight inter-host message for a checkpoint.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        match self {
+            WireMsg::Data(pkt) => {
+                w.u8(0);
+                pkt.save_state(w);
+            }
+            WireMsg::Ack {
+                flow,
+                ack,
+                frontier,
+            } => {
+                w.u8(1);
+                w.u32(*flow);
+                ack.save_state(w);
+                w.u64(*frontier);
+            }
+        }
+    }
+
+    /// Rebuild a message from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        match r.u8()? {
+            0 => Ok(WireMsg::Data(Packet::load_state(r)?)),
+            1 => Ok(WireMsg::Ack {
+                flow: r.u32()?,
+                ack: Packet::load_state(r)?,
+                frontier: r.u64()?,
+            }),
+            _ => Err(hostcc_sim::SnapError::Corrupt(
+                "wire message tag out of range",
+            )),
+        }
+    }
+}

@@ -60,6 +60,24 @@ impl Link {
     pub fn delivered(&self) -> (u64, u64) {
         (self.delivered_bytes, self.delivered_packets)
     }
+
+    /// Serialize the link (rate, in-flight serialisation state, counters).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        self.serial.save_state(w);
+        w.duration(self.propagation);
+        w.u64(self.delivered_bytes);
+        w.u64(self.delivered_packets);
+    }
+
+    /// Rebuild a link from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        Ok(Link {
+            serial: hostcc_sim::SerialLink::load_state(r)?,
+            propagation: r.duration()?,
+            delivered_bytes: r.u64()?,
+            delivered_packets: r.u64()?,
+        })
+    }
 }
 
 /// Outcome of offering a packet to a switch port.
@@ -185,6 +203,71 @@ impl SwitchPort {
     /// Packets forwarded.
     pub fn forwarded(&self) -> u64 {
         self.forwarded
+    }
+
+    /// Serialize the port: drain link, queue occupancy, the pending
+    /// departure ring in FIFO order, and drop/mark/forward counters.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        self.link.save_state(w);
+        w.duration(self.propagation);
+        w.u64(self.buffer_bytes);
+        w.u64(self.ecn_threshold_bytes);
+        w.u64(self.queued_bytes);
+        w.usize(self.departures.len());
+        for &(t, bytes) in &self.departures {
+            w.time(t);
+            w.u64(bytes);
+        }
+        w.u64(self.drops);
+        w.u64(self.marks);
+        w.u64(self.forwarded);
+    }
+
+    /// Rebuild a port from [`save_state`](Self::save_state) output. The
+    /// departure ring is re-presized from the restored buffer budget so
+    /// steady state stays allocation-free, and the occupancy invariant
+    /// (queued bytes == sum of pending departures) is revalidated.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let link = hostcc_sim::SerialLink::load_state(r)?;
+        let propagation = r.duration()?;
+        let buffer_bytes = r.u64()?;
+        let ecn_threshold_bytes = r.u64()?;
+        let queued_bytes = r.u64()?;
+        let n = r.len(16)?;
+        let max_entries = (buffer_bytes / Self::MIN_WIRE_BYTES + 1) as usize;
+        let mut departures = std::collections::VecDeque::with_capacity(max_entries.max(n));
+        let mut last = hostcc_sim::SimTime::ZERO;
+        let mut pending = 0u64;
+        for _ in 0..n {
+            let t = r.time()?;
+            let bytes = r.u64()?;
+            if t < last {
+                return Err(SnapError::Corrupt("departure ring out of order"));
+            }
+            last = t;
+            pending = pending
+                .checked_add(bytes)
+                .ok_or(SnapError::Corrupt("departure bytes overflow"))?;
+            departures.push_back((t, bytes));
+        }
+        if pending != queued_bytes {
+            return Err(SnapError::Corrupt("switch occupancy mismatch"));
+        }
+        if queued_bytes > buffer_bytes {
+            return Err(SnapError::Corrupt("switch occupancy exceeds buffer"));
+        }
+        Ok(SwitchPort {
+            link,
+            propagation,
+            buffer_bytes,
+            ecn_threshold_bytes,
+            queued_bytes,
+            departures,
+            drops: r.u64()?,
+            marks: r.u64()?,
+            forwarded: r.u64()?,
+        })
     }
 }
 

@@ -91,6 +91,64 @@ impl Default for WireFormat {
     }
 }
 
+impl FlowId {
+    /// Serialize the flow identifier for a checkpoint.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u32(self.sender);
+        w.u32(self.thread);
+    }
+
+    /// Rebuild a flow identifier from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        Ok(FlowId {
+            sender: r.u32()?,
+            thread: r.u32()?,
+        })
+    }
+}
+
+impl Packet {
+    /// Serialize the full wire header for a checkpoint.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        self.flow.save_state(w);
+        w.u64(self.seq);
+        w.u32(self.payload_bytes);
+        w.u32(self.wire_bytes);
+        w.u8(match self.kind {
+            PacketKind::Data => 0,
+            PacketKind::Ack => 1,
+        });
+        w.time(self.sent_at);
+        w.duration(self.host_delay_echo);
+        w.bool(self.ecn_ce);
+        w.f64(self.nic_buffer_frac);
+    }
+
+    /// Rebuild a packet from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        let flow = FlowId::load_state(r)?;
+        let seq = r.u64()?;
+        let payload_bytes = r.u32()?;
+        let wire_bytes = r.u32()?;
+        let kind = match r.u8()? {
+            0 => PacketKind::Data,
+            1 => PacketKind::Ack,
+            _ => return Err(hostcc_sim::SnapError::Corrupt("packet kind out of range")),
+        };
+        Ok(Packet {
+            flow,
+            seq,
+            payload_bytes,
+            wire_bytes,
+            kind,
+            sent_at: r.time()?,
+            host_delay_echo: r.duration()?,
+            ecn_ce: r.bool()?,
+            nic_buffer_frac: r.f64()?,
+        })
+    }
+}
+
 impl WireFormat {
     /// On-wire bytes of a data packet carrying `payload` bytes.
     pub fn data_wire_bytes(&self, payload: u32) -> u32 {

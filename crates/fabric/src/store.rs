@@ -71,6 +71,34 @@ impl<T> SlabRef<T> {
     pub fn generation(&self) -> u32 {
         self.gen
     }
+
+    /// Reassemble a handle from its `(index, generation)` parts.
+    ///
+    /// Exists for checkpoint restore, where handles embedded in serialized
+    /// events must be rebuilt verbatim. A handle fabricated with the wrong
+    /// parts is caught exactly like any stale handle: `free` panics on a
+    /// generation mismatch, `is_live` reports false.
+    pub fn from_parts(idx: u32, gen: u32) -> Self {
+        SlabRef {
+            idx,
+            gen,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Serialize the handle (index + generation) for a checkpoint.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u32(self.idx);
+        w.u32(self.gen);
+    }
+
+    /// Rebuild a handle from [`save_state`](Self::save_state) output.
+    /// Validity against a restored slab is checked by the slab itself.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        let idx = r.u32()?;
+        let gen = r.u32()?;
+        Ok(SlabRef::from_parts(idx, gen))
+    }
 }
 
 #[derive(Debug)]
@@ -223,6 +251,87 @@ impl<T: Copy> GenSlab<T> {
     /// Lifetime (allocations, frees).
     pub fn stats(&self) -> (u64, u64) {
         (self.allocs, self.frees)
+    }
+
+    /// Serialize the whole slab for a checkpoint: every slot (generation
+    /// plus value, free slots included so recycled generations survive),
+    /// the free list in LIFO order, and the lifetime counters. `enc`
+    /// encodes one stored value.
+    pub fn save_with<F: FnMut(&T, &mut hostcc_sim::SnapWriter)>(
+        &self,
+        w: &mut hostcc_sim::SnapWriter,
+        mut enc: F,
+    ) {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            w.u32(slot.gen);
+            enc(&slot.value, w);
+        }
+        w.seq(&self.free, |&idx, w| w.u32(idx));
+        w.u32(self.live);
+        w.u32(self.peak_live);
+        w.u64(self.allocs);
+        w.u64(self.frees);
+    }
+
+    /// Rebuild a slab from [`save_with`](Self::save_with) output. Restored
+    /// handles (same index + generation) resolve to the same values, the
+    /// free list recycles in the same order, and the odd-live/even-free
+    /// generation invariant is revalidated — any violation is a typed
+    /// [`SnapError`](hostcc_sim::SnapError), never a panic.
+    pub fn load_with<'a, F>(
+        r: &mut hostcc_sim::SnapReader<'a>,
+        mut dec: F,
+    ) -> Result<Self, hostcc_sim::SnapError>
+    where
+        F: FnMut(&mut hostcc_sim::SnapReader<'a>) -> Result<T, hostcc_sim::SnapError>,
+    {
+        use hostcc_sim::SnapError;
+        let n = r.len(5)?; // each slot: gen (4 B) + at least one value byte
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let gen = r.u32()?;
+            let value = dec(r)?;
+            slots.push(Slot { gen, value });
+        }
+        let free = r.seq(4, |r| r.u32())?;
+        let live = r.u32()?;
+        let peak_live = r.u32()?;
+        let allocs = r.u64()?;
+        let frees = r.u64()?;
+        let mut on_free_list = vec![false; slots.len()];
+        for &idx in &free {
+            let seen = on_free_list
+                .get_mut(idx as usize)
+                .ok_or(SnapError::Corrupt("free-list index out of range"))?;
+            if *seen {
+                return Err(SnapError::Corrupt("duplicate free-list index"));
+            }
+            *seen = true;
+            if slots[idx as usize].gen % 2 != 0 {
+                return Err(SnapError::Corrupt("free-list slot marked live"));
+            }
+        }
+        let live_slots = slots.iter().filter(|s| s.gen % 2 == 1).count();
+        if live_slots != live as usize {
+            return Err(SnapError::Corrupt("slab live count mismatch"));
+        }
+        // Every non-live slot must be recyclable, or alloc would grow the
+        // slab forever past the restored working set.
+        if slots.len() - live_slots != free.len() {
+            return Err(SnapError::Corrupt("slab free-list incomplete"));
+        }
+        if live > peak_live || allocs.wrapping_sub(frees) != live as u64 {
+            return Err(SnapError::Corrupt("slab lifetime counters inconsistent"));
+        }
+        Ok(GenSlab {
+            slots,
+            free,
+            live,
+            peak_live,
+            allocs,
+            frees,
+        })
     }
 }
 

@@ -20,17 +20,43 @@ pub enum RunError {
         at: SimTime,
         /// Events still queued when the run was aborted.
         pending: usize,
+        /// Which fleet host stalled (`None` on single-host runs, where
+        /// there is nothing to disambiguate).
+        host: Option<usize>,
+        /// The stalled host's shard (`host % shards`), when known — which
+        /// worker thread was driving the frozen clock.
+        shard: Option<usize>,
         /// The final telemetry sample before the stall, when the run had
         /// telemetry enabled — the host signals at the moment progress
         /// stopped, so the trip is diagnosable without re-running. Boxed
         /// to keep the error (and every `Result` carrying it) small.
         telemetry: Option<Box<TelemetrySample>>,
     },
+    /// A sweep worker panicked while running one grid point. The panic is
+    /// caught at the point boundary so the remaining points still
+    /// complete; the payload says which point died.
+    WorkerPanicked {
+        /// Index of the grid point whose worker panicked.
+        point: usize,
+        /// The point's label (whatever the sweep called it).
+        label: String,
+        /// The panic payload rendered to text, when it was a string.
+        message: String,
+    },
+    /// A checkpoint could not be written or restored (corrupt, truncated,
+    /// wrong version, mismatched config, or save-side refusal).
+    Checkpoint(hostcc_sim::SnapError),
 }
 
 impl From<ConfigError> for RunError {
     fn from(e: ConfigError) -> Self {
         RunError::InvalidConfig(e)
+    }
+}
+
+impl From<hostcc_sim::SnapError> for RunError {
+    fn from(e: hostcc_sim::SnapError) -> Self {
+        RunError::Checkpoint(e)
     }
 }
 
@@ -41,6 +67,8 @@ impl std::fmt::Display for RunError {
             RunError::Stalled {
                 at,
                 pending,
+                host,
+                shard,
                 telemetry,
             } => {
                 write!(
@@ -49,6 +77,12 @@ impl std::fmt::Display for RunError {
                      (the clock stopped advancing; see RunOutcome::Stalled)",
                     at.as_nanos()
                 )?;
+                if let Some(h) = host {
+                    write!(f, "; host {h}")?;
+                    if let Some(s) = shard {
+                        write!(f, " (shard {s})")?;
+                    }
+                }
                 if let Some(s) = telemetry {
                     write!(
                         f,
@@ -62,6 +96,18 @@ impl std::fmt::Display for RunError {
                 }
                 Ok(())
             }
+            RunError::WorkerPanicked {
+                point,
+                label,
+                message,
+            } => {
+                write!(f, "sweep worker panicked on point {point} ({label})")?;
+                if !message.is_empty() {
+                    write!(f, ": {message}")?;
+                }
+                Ok(())
+            }
+            RunError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }
@@ -71,6 +117,8 @@ impl std::error::Error for RunError {
         match self {
             RunError::InvalidConfig(e) => Some(e),
             RunError::Stalled { .. } => None,
+            RunError::WorkerPanicked { .. } => None,
+            RunError::Checkpoint(_) => None,
         }
     }
 }
@@ -86,10 +134,47 @@ mod tests {
         let e = RunError::Stalled {
             at: SimTime::from_nanos(99),
             pending: 3,
+            host: None,
+            shard: None,
             telemetry: None,
         };
         let msg = e.to_string();
         assert!(msg.contains("99") && msg.contains("3 events"), "{msg}");
+        assert!(!msg.contains("host"), "{msg}");
+    }
+
+    #[test]
+    fn stall_display_names_the_host_and_shard() {
+        let e = RunError::Stalled {
+            at: SimTime::from_nanos(50),
+            pending: 1,
+            host: Some(5),
+            shard: Some(1),
+            telemetry: None,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("host 5"), "{msg}");
+        assert!(msg.contains("shard 1"), "{msg}");
+    }
+
+    #[test]
+    fn worker_panic_names_the_point() {
+        let e = RunError::WorkerPanicked {
+            point: 7,
+            label: "threads=16".to_string(),
+            message: "boom".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("point 7"), "{msg}");
+        assert!(msg.contains("threads=16"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn checkpoint_errors_wrap_snap_errors() {
+        let e = RunError::from(hostcc_sim::SnapError::Checksum);
+        assert!(matches!(e, RunError::Checkpoint(_)));
+        assert!(e.to_string().contains("checkpoint failed"), "{e}");
     }
 
     #[test]
@@ -116,6 +201,8 @@ mod tests {
         let e = RunError::Stalled {
             at: SimTime::from_nanos(99),
             pending: 3,
+            host: None,
+            shard: None,
             telemetry: Some(Box::new(sample)),
         };
         let msg = e.to_string();

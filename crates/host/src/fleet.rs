@@ -40,6 +40,12 @@ impl FleetHost {
         &mut self.sim
     }
 
+    /// When the host's progress watchdog tripped, the frozen instant.
+    /// A stalled host cannot be checkpointed (its queue is mid-abort).
+    pub fn stalled_at(&self) -> Option<SimTime> {
+        self.stalled
+    }
+
     /// Check the host for a tripped progress watchdog.
     pub fn check_stalled(&mut self) -> Result<(), RunError> {
         match self.stalled {
@@ -50,6 +56,8 @@ impl FleetHost {
                 Err(RunError::Stalled {
                     at,
                     pending,
+                    host: None,
+                    shard: None,
                     telemetry: self.sim.world_mut().telemetry.last_sample().map(Box::new),
                 })
             }

@@ -69,6 +69,30 @@ impl VariableRateLink {
     pub fn backlog(&self, now: SimTime) -> SimDuration {
         self.free_at.saturating_since(now)
     }
+
+    /// Serialize the link's full state (rate, busy horizon, grid).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.f64(self.bytes_per_sec);
+        w.time(self.free_at);
+        w.u64(self.res.nanos());
+    }
+
+    /// Rebuild a link from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let bytes_per_sec = r.f64()?;
+        if !bytes_per_sec.is_finite() || bytes_per_sec <= 0.0 {
+            return Err(SnapError::Corrupt("invalid link rate"));
+        }
+        let free_at = r.time()?;
+        let res = Resolution::from_nanos(r.u64()?)
+            .ok_or(SnapError::Corrupt("invalid link resolution"))?;
+        Ok(VariableRateLink {
+            bytes_per_sec,
+            free_at,
+            res,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +132,41 @@ mod tests {
         // quantum applies per item, so back-to-back stays on the grid.
         assert_eq!(v.transmit(SimTime::ZERO, 1000).as_nanos(), 1024);
         assert_eq!(v.transmit(SimTime::ZERO, 1000).as_nanos(), 2048);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_horizon() {
+        let mut v = VariableRateLink::new(1e9);
+        v.set_resolution(Resolution::from_nanos(64).unwrap());
+        v.transmit(SimTime::ZERO, 1000);
+        v.set_rate(SimTime::ZERO, 2e9);
+        let mut w = hostcc_sim::SnapWriter::new();
+        v.save_state(&mut w);
+        let payload = w.into_payload();
+        let mut r = hostcc_sim::SnapReader::new(&payload);
+        let mut back = VariableRateLink::load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.rate(), v.rate());
+        assert_eq!(back.free_at(), v.free_at());
+        // Same grid: the next item lands on the same quantised boundary.
+        assert_eq!(
+            back.transmit(SimTime::ZERO, 1000),
+            v.transmit(SimTime::ZERO, 1000)
+        );
+    }
+
+    #[test]
+    fn corrupt_link_rate_is_typed_error() {
+        let mut w = hostcc_sim::SnapWriter::new();
+        w.f64(f64::NAN);
+        w.time(SimTime::ZERO);
+        w.u64(1);
+        let payload = w.into_payload();
+        let mut r = hostcc_sim::SnapReader::new(&payload);
+        assert!(matches!(
+            VariableRateLink::load_state(&mut r),
+            Err(hostcc_sim::SnapError::Corrupt("invalid link rate"))
+        ));
     }
 
     #[test]

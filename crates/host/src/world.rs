@@ -32,8 +32,8 @@ use hostcc_memsys::{AgentClass, AgentId, MemorySystem, StreamAntagonist};
 use hostcc_nic::Nic;
 use hostcc_pcie::{CreditState, ReplayChannel, ReplayConfig, WriteCredits};
 use hostcc_sim::{
-    stream_seed, DispatchProfile, Engine, Envelope, EventQueue, Ewma, Queue, RunOutcome, Scheduler,
-    SerialLink, SimDuration, SimRng, SimTime, World,
+    fnv1a_64, stream_seed, DispatchProfile, Engine, Envelope, EventQueue, Ewma, Queue, RunOutcome,
+    Scheduler, SerialLink, SimDuration, SimRng, SimTime, SnapError, SnapReader, SnapWriter, World,
 };
 use hostcc_telemetry::{SignalInputs, Telemetry};
 use hostcc_trace::{
@@ -132,6 +132,34 @@ pub struct DmaJob {
     iommu_ns: u64,
 }
 
+impl DmaJob {
+    /// Serialize an in-flight DMA job for a checkpoint.
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.pkt.save_state(w);
+        w.time(self.nic_arrival);
+        w.u64(self.buffer.as_u64());
+        w.u32(self.thread);
+        w.time(self.admitted);
+        w.u64(self.pcie_ns);
+        w.u64(self.mem_ns);
+        w.u64(self.iommu_ns);
+    }
+
+    /// Rebuild a job from [`save_state`](Self::save_state) output.
+    fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DmaJob {
+            pkt: PacketRef::load_state(r)?,
+            nic_arrival: r.time()?,
+            buffer: Iova(r.u64()?),
+            thread: r.u32()?,
+            admitted: r.time()?,
+            pcie_ns: r.u64()?,
+            mem_ns: r.u64()?,
+            iommu_ns: r.u64()?,
+        })
+    }
+}
+
 /// Handle to a [`DmaJob`] in the testbed's DMA slab.
 pub type DmaRef = SlabRef<DmaJob>;
 
@@ -197,6 +225,81 @@ const _: () = assert!(
     std::mem::size_of::<Event>() <= 24,
     "Event outgrew its 24-byte budget; keep payloads in slabs, not events"
 );
+
+impl Event {
+    /// Serialize one pending event for a checkpoint (tag + payload).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match *self {
+            Event::TrySend(f) => {
+                w.u8(0);
+                w.u32(f);
+            }
+            Event::AtSwitch(p) => {
+                w.u8(1);
+                p.save_state(w);
+            }
+            Event::AtNic(p) => {
+                w.u8(2);
+                p.save_state(w);
+            }
+            Event::DmaLaunch => w.u8(3),
+            Event::DmaComplete(j) => {
+                w.u8(4);
+                j.save_state(w);
+            }
+            Event::CpuDone(j) => {
+                w.u8(5);
+                j.save_state(w);
+            }
+            Event::DmaChain(j) => {
+                w.u8(6);
+                j.save_state(w);
+            }
+            Event::AckToSender {
+                flow,
+                ack,
+                frontier,
+            } => {
+                w.u8(7);
+                w.u32(flow);
+                ack.save_state(w);
+                w.u64(frontier);
+            }
+            Event::RtoSweep => w.u8(8),
+            Event::MemTick => w.u8(9),
+            Event::Fault(code) => {
+                w.u8(10);
+                w.u32(code);
+            }
+            Event::TelemetryTick => w.u8(11),
+            Event::RemoteArrival => w.u8(12),
+        }
+    }
+
+    /// Rebuild an event from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Event::TrySend(r.u32()?),
+            1 => Event::AtSwitch(PacketRef::load_state(r)?),
+            2 => Event::AtNic(PacketRef::load_state(r)?),
+            3 => Event::DmaLaunch,
+            4 => Event::DmaComplete(DmaRef::load_state(r)?),
+            5 => Event::CpuDone(DmaRef::load_state(r)?),
+            6 => Event::DmaChain(DmaRef::load_state(r)?),
+            7 => Event::AckToSender {
+                flow: r.u32()?,
+                ack: PacketRef::load_state(r)?,
+                frontier: r.u64()?,
+            },
+            8 => Event::RtoSweep,
+            9 => Event::MemTick,
+            10 => Event::Fault(r.u32()?),
+            11 => Event::TelemetryTick,
+            12 => Event::RemoteArrival,
+            _ => return Err(SnapError::Corrupt("event tag out of range")),
+        })
+    }
+}
 
 /// Role of a virtual flow slot appended by fleet wiring. Slot `k`
 /// (flow index `senders * receiver_threads + k`) owns virtual sender id
@@ -365,6 +468,12 @@ pub struct Testbed {
     fault_throttle: f64,
     /// Refills deferred per thread while a descriptor stall is open.
     fault_pending_refills: Vec<u32>,
+    /// Diagnostic counterfactual switch (campaign bisect): when set, fault
+    /// windows that have not yet opened are skipped, so a replay from a
+    /// checkpoint shows what the run would have done without the fault.
+    /// Transient — never serialized; a checkpoint taken after suppression
+    /// does not record it.
+    faults_suppressed: bool,
     /// Last NIC memory-bandwidth grant computed by the mem tick (so a
     /// throttle edge can re-rate the pipe immediately, between ticks).
     last_nic_avail: f64,
@@ -595,6 +704,7 @@ impl Testbed {
             fault_link_down: false,
             fault_nak_rate: 0.0,
             fault_refill_stalled: false,
+            faults_suppressed: false,
             fault_throttle: 1.0,
             fault_pending_refills: vec![0; threads as usize],
             last_nic_avail,
@@ -823,6 +933,15 @@ impl Testbed {
         });
     }
 
+    /// Suppress fault windows that have not yet opened (campaign bisect's
+    /// counterfactual replay: "what would this run have done without the
+    /// fault?"). Windows already open keep their scheduled closing edge.
+    /// Transient: the flag is never serialized, so a checkpoint saved
+    /// after suppression restores with faults active again.
+    pub fn suppress_faults(&mut self) {
+        self.faults_suppressed = true;
+    }
+
     /// Begin measurement (discard warm-up counts). Also baselines the
     /// counter registry so `since_baseline` reports the measurement
     /// interval, mirroring the headline metrics.
@@ -907,6 +1026,268 @@ impl Testbed {
             .zip(&self.recv_flows)
             .map(|(s, r)| (s.cum_acked(), r.delivered_packets()))
             .collect()
+    }
+
+    // ---- checkpoint/restore ----
+
+    /// Serialize every piece of evolving state into `w`, in declaration
+    /// order. Topology, configuration and run constants are *not* written:
+    /// the restore path rebuilds them by constructing a testbed from the
+    /// identical config (and, in a fleet, replaying the same remote-flow
+    /// wiring) before calling [`load_state`](Self::load_state). Derived
+    /// caches are recomputed after load, and scratch buffers carry no
+    /// state between events at a slot boundary.
+    ///
+    /// Refuses (with [`SnapError::Unsupported`]) when the tracer or the
+    /// timeline recorder is enabled: their in-memory buffers are
+    /// diagnostics, not simulation state, and restoring without them
+    /// would silently diverge from what the caller asked to record.
+    pub fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        if self.tracer.is_enabled() || self.timeline.is_enabled() {
+            return Err(SnapError::Unsupported("checkpoint with tracing enabled"));
+        }
+        self.rng.save_state(w);
+        w.usize(self.flows.len());
+        for f in &self.flows {
+            f.save_state(w);
+        }
+        w.usize(self.sender_links.len());
+        for l in &self.sender_links {
+            l.save_state(w);
+        }
+        for rf in &self.recv_flows {
+            rf.save_state(w);
+        }
+        for ch in &self.rpc {
+            ch.save_state(w);
+        }
+        // Remote slots and the fabric attachment are topology; only their
+        // shape is written so a mis-wired restore fails typed, plus the
+        // fabric's evolving payload (sequence counter + staged messages).
+        w.usize(self.remote.len());
+        w.opt(&self.fabric, |port, w| {
+            w.u64(port.wire_seq);
+            w.usize(port.outbox.len());
+            for env in &port.outbox {
+                w.time(env.fire);
+                w.u32(env.src_host);
+                w.u64(env.seq);
+                w.u32(env.dst_host);
+                env.msg.save_state(w);
+            }
+            w.usize(port.inbox.len());
+            for msg in &port.inbox {
+                msg.save_state(w);
+            }
+        });
+        self.switch.save_state(w);
+        self.store.save_with(w, |p, w| p.save_state(w));
+        self.dma.save_with(w, |j, w| j.save_state(w));
+        self.nic.save_state(w);
+        self.iommu.save_state(w);
+        self.mem.save_state(w);
+        self.antagonist.save_state(w);
+        self.credits.save_state(w);
+        self.pcie_pipe.save_state(w);
+        self.mem_pipe.save_state(w);
+        for p in &self.pools {
+            p.save_state(w);
+        }
+        w.seq(&self.core_free_at, |&t, w| w.time(t));
+        w.usize(self.ring_cursor.len());
+        for cur in &self.ring_cursor {
+            for &c in cur {
+                w.u64(c);
+            }
+        }
+        w.u64(self.window_payload);
+        w.u64(self.window_walks);
+        w.time(self.last_tick);
+        self.nic_demand.save_state(w);
+        self.app_demand.save_state(w);
+        w.f64(self.ddio_leak);
+        w.bool(self.dma_launch_pending);
+        w.seq(&self.unfused_inflight, |&n, w| w.u32(n));
+        self.launch_trace.save_with(w, |&t, w| w.u32(t));
+        w.f64(self.switch_backlog_sum);
+        w.f64(self.link_backlog_sum);
+        w.u64(self.backlog_samples);
+        self.metrics.save_state(w);
+        self.counters.save_state(w);
+        self.telemetry.save_state(w);
+        w.u64(self.rtx_base);
+        w.u64(self.timeout_base);
+        self.faults.save_state(w);
+        self.fault_rng.save_state(w);
+        self.replay.save_state(w);
+        self.recovery.save_state(w);
+        // The cached fault aggregates are serialized directly rather than
+        // re-derived: `refresh_fault_aggregates` re-rates the memory pipe,
+        // which would perturb the just-restored busy horizon.
+        w.bool(self.fault_link_down);
+        w.f64(self.fault_nak_rate);
+        w.bool(self.fault_refill_stalled);
+        w.f64(self.fault_throttle);
+        w.seq(&self.fault_pending_refills, |&n, w| w.u32(n));
+        w.f64(self.last_nic_avail);
+        w.u64(self.last_delivered_bytes);
+        Ok(())
+    }
+
+    /// Restore evolving state from [`save_state`](Self::save_state) output
+    /// into a testbed freshly built from the *identical* configuration
+    /// (and identical fleet wiring). Every structural invariant is
+    /// revalidated against the prebuilt topology — count mismatches and
+    /// out-of-range values are typed errors, never panics.
+    ///
+    /// On error `self` may be partially overwritten (sub-component loads
+    /// are in-place); callers must discard the testbed rather than run it.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng = SimRng::load_state(r)?;
+        let n_flows = r.len(1)?;
+        if n_flows != self.flows.len() {
+            return Err(SnapError::Corrupt("flow count mismatch"));
+        }
+        for f in &mut self.flows {
+            f.load_state(r)?;
+        }
+        let n_links = r.len(1)?;
+        if n_links != self.sender_links.len() {
+            return Err(SnapError::Corrupt("sender link count mismatch"));
+        }
+        for l in &mut self.sender_links {
+            *l = Link::load_state(r)?;
+        }
+        for rf in &mut self.recv_flows {
+            *rf = ReceiverFlow::load_state(r)?;
+        }
+        for ch in &mut self.rpc {
+            ch.load_state(r)?;
+        }
+        let n_remote = r.usize()?;
+        if n_remote != self.remote.len() {
+            return Err(SnapError::Corrupt("remote slot count mismatch"));
+        }
+        let fabric_payload = r.opt(|r| {
+            let wire_seq = r.u64()?;
+            let n_out = r.len(1)?;
+            let mut outbox = Vec::with_capacity(n_out);
+            for _ in 0..n_out {
+                outbox.push(Envelope {
+                    fire: r.time()?,
+                    src_host: r.u32()?,
+                    seq: r.u64()?,
+                    dst_host: r.u32()?,
+                    msg: WireMsg::load_state(r)?,
+                });
+            }
+            let n_in = r.len(1)?;
+            let mut inbox = std::collections::VecDeque::with_capacity(n_in);
+            for _ in 0..n_in {
+                inbox.push_back(WireMsg::load_state(r)?);
+            }
+            Ok((wire_seq, outbox, inbox))
+        })?;
+        match (self.fabric.as_mut(), fabric_payload) {
+            (Some(port), Some((wire_seq, outbox, inbox))) => {
+                port.wire_seq = wire_seq;
+                port.outbox = outbox;
+                port.inbox = inbox;
+            }
+            (None, None) => {}
+            _ => return Err(SnapError::Corrupt("fabric attachment mismatch")),
+        }
+        self.switch = SwitchPort::load_state(r)?;
+        self.store = PacketStore::load_with(r, hostcc_fabric::Packet::load_state)?;
+        self.dma = GenSlab::load_with(r, DmaJob::load_state)?;
+        self.nic.load_state(r)?;
+        self.iommu.load_state(r)?;
+        self.mem.load_state(r)?;
+        self.antagonist.load_state(r)?;
+        self.credits = CreditState::load_state(r)?;
+        self.pcie_pipe = SerialLink::load_state(r)?;
+        self.mem_pipe = VariableRateLink::load_state(r)?;
+        for p in &mut self.pools {
+            *p = RxBufferPool::load_state(r)?;
+        }
+        let core_free_at = r.seq(8, |r| r.time())?;
+        if core_free_at.len() != self.core_free_at.len() {
+            return Err(SnapError::Corrupt("receiver core count mismatch"));
+        }
+        self.core_free_at = core_free_at;
+        let n_cursors = r.len(24)?;
+        if n_cursors != self.ring_cursor.len() {
+            return Err(SnapError::Corrupt("ring cursor count mismatch"));
+        }
+        for t in 0..n_cursors {
+            let mut cur = [0u64; 3];
+            for (which, c) in cur.iter_mut().enumerate() {
+                *c = r.u64()?;
+                if *c >= self.ring_pages[which] {
+                    return Err(SnapError::Corrupt("ring cursor out of range"));
+                }
+            }
+            self.ring_cursor[t] = cur;
+        }
+        self.window_payload = r.u64()?;
+        self.window_walks = r.u64()?;
+        self.last_tick = r.time()?;
+        self.nic_demand = Ewma::load_state(r)?;
+        self.app_demand = Ewma::load_state(r)?;
+        let ddio_leak = r.f64()?;
+        if !(0.0..=1.0).contains(&ddio_leak) {
+            return Err(SnapError::Corrupt("ddio leak out of range"));
+        }
+        self.ddio_leak = ddio_leak;
+        self.dma_launch_pending = r.bool()?;
+        let unfused = r.seq(4, |r| r.u32())?;
+        if unfused.len() != self.unfused_inflight.len() {
+            return Err(SnapError::Corrupt("unfused inflight count mismatch"));
+        }
+        self.unfused_inflight = unfused;
+        self.launch_trace = SampleRing::load_with(r, |r| r.u32())?;
+        self.switch_backlog_sum = r.f64()?;
+        self.link_backlog_sum = r.f64()?;
+        self.backlog_samples = r.u64()?;
+        if !self.switch_backlog_sum.is_finite() || !self.link_backlog_sum.is_finite() {
+            return Err(SnapError::Corrupt("non-finite backlog sum"));
+        }
+        self.metrics = MetricsCollector::load_state(r)?;
+        self.counters = CounterRegistry::load_state(r)?;
+        self.telemetry.load_state(r)?;
+        self.rtx_base = r.u64()?;
+        self.timeout_base = r.u64()?;
+        self.faults.load_state(r)?;
+        self.fault_rng = SimRng::load_state(r)?;
+        self.replay = ReplayChannel::load_state(r)?;
+        self.recovery = RecoveryTracker::load_state(r)?;
+        self.fault_link_down = r.bool()?;
+        let nak_rate = r.f64()?;
+        if !(0.0..=1.0).contains(&nak_rate) {
+            return Err(SnapError::Corrupt("nak rate out of range"));
+        }
+        self.fault_nak_rate = nak_rate;
+        self.fault_refill_stalled = r.bool()?;
+        let throttle = r.f64()?;
+        if !throttle.is_finite() || throttle < 0.0 {
+            return Err(SnapError::Corrupt("invalid throttle factor"));
+        }
+        self.fault_throttle = throttle;
+        let refills = r.seq(4, |r| r.u32())?;
+        if refills.len() != self.fault_pending_refills.len() {
+            return Err(SnapError::Corrupt("pending refill count mismatch"));
+        }
+        self.fault_pending_refills = refills;
+        let last_nic_avail = r.f64()?;
+        if !last_nic_avail.is_finite() || last_nic_avail < 0.0 {
+            return Err(SnapError::Corrupt("invalid nic bandwidth"));
+        }
+        self.last_nic_avail = last_nic_avail;
+        self.last_delivered_bytes = r.u64()?;
+        // Derived caches are functions of the restored inputs; recompute
+        // rather than trust the snapshot.
+        self.refresh_latency_cache();
+        Ok(())
     }
 
     /// Latency charged per page-walk memory access: the memory latency
@@ -1683,6 +2064,13 @@ impl Testbed {
         sched: &mut Scheduler<Event, Q>,
     ) {
         let idx = (code >> 2) as usize;
+        if self.faults_suppressed && code & 3 == 0 {
+            // Counterfactual replay: drop the opening edge entirely. The
+            // window never begins, so no closing edge or storm tick is
+            // scheduled; windows already open before suppression still
+            // close normally through their pre-scheduled end events.
+            return;
+        }
         match code & 3 {
             0 => {
                 // Window opens. The closing edge is scheduled now; at equal
@@ -2100,6 +2488,69 @@ impl Simulation {
         let res = testbed.config().resolution;
         Simulation::from_testbed_on_queue(testbed, res)
     }
+
+    // ---- checkpoint/restore ----
+    //
+    // A checkpoint is valid only at a slot boundary: `run_to` leaves the
+    // clock exactly at its deadline with every event `<= deadline` already
+    // dispatched, so the pending queue, the world and the clock are
+    // mutually consistent and a restored run replays bit-identically.
+
+    /// Stable fingerprint of a testbed configuration, written into every
+    /// checkpoint so a restore against a different config fails typed
+    /// instead of replaying garbage.
+    pub fn config_fingerprint(cfg: &TestbedConfig) -> u64 {
+        fnv1a_64(format!("{cfg:?}").as_bytes())
+    }
+
+    /// Serialize the complete simulation — clock, pending events, world —
+    /// into a self-validating envelope (header + checksum). Call only
+    /// between [`run_to`](Self::run_to) slices. Refuses (typed, not a
+    /// panic) when the tracer or timeline recorder is enabled.
+    pub fn save_checkpoint(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapWriter::new();
+        w.u64(Self::config_fingerprint(self.engine.world.config()));
+        self.engine.sched.save_state(&mut w, |e, w| e.save_state(w));
+        self.engine.world.save_state(&mut w)?;
+        Ok(w.into_envelope())
+    }
+
+    /// Rebuild a simulation from a checkpoint envelope and the identical
+    /// configuration the checkpointed run was built from. Single-host
+    /// form; fleet hosts go through
+    /// [`restore_checkpoint_into`](Self::restore_checkpoint_into) with a
+    /// pre-wired testbed.
+    pub fn restore_checkpoint(cfg: TestbedConfig, bytes: &[u8]) -> Result<Simulation, SnapError> {
+        Self::restore_checkpoint_into(Testbed::new(cfg), bytes)
+    }
+
+    /// Rebuild a simulation from a checkpoint envelope into `testbed`,
+    /// which must have been constructed from the identical configuration
+    /// (and, for fleet hosts, wired with the identical remote flows) but
+    /// **not** started — the restored event queue replaces the start-up
+    /// schedule wholesale. Any corruption, truncation, version mismatch
+    /// or config mismatch is a typed [`SnapError`]; the testbed is
+    /// consumed either way.
+    pub fn restore_checkpoint_into(
+        mut testbed: Testbed,
+        bytes: &[u8],
+    ) -> Result<Simulation, SnapError> {
+        let mut r = SnapReader::open(bytes)?;
+        if r.u64()? != Self::config_fingerprint(testbed.config()) {
+            return Err(SnapError::Corrupt("config fingerprint mismatch"));
+        }
+        let sched = Scheduler::load_state(&mut r, Event::load_state)?;
+        testbed.load_state(&mut r)?;
+        r.finish()?;
+        let res = testbed.config().resolution;
+        // Build the engine shell, then replace its (empty, unstarted)
+        // scheduler with the restored one. `start` must NOT run: the
+        // checkpoint's queue already holds the live timers.
+        let mut engine = Engine::with_queue_resolution(testbed, res);
+        engine.stall_limit = Some(STALL_LIMIT);
+        engine.sched = sched;
+        Ok(Simulation { engine })
+    }
 }
 
 impl Simulation<hostcc_sim::BinaryHeapQueue<Event>> {
@@ -2226,6 +2677,8 @@ impl<Q: Queue<Event>> Simulation<Q> {
                 Err(RunError::Stalled {
                     at,
                     pending,
+                    host: None,
+                    shard: None,
                     telemetry: self.engine.world.telemetry.last_sample().map(Box::new),
                 })
             }
@@ -2296,6 +2749,79 @@ mod tests {
             (14.0..26.0).contains(&tp),
             "2 cores should deliver ~20-23 Gbps, got {tp}"
         );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_identical() {
+        // Uninterrupted run.
+        let mut base = Simulation::new(small_cfg());
+        let m0 = base.run(SimDuration::from_millis(1), SimDuration::from_millis(2));
+
+        // Same run, checkpointed mid-measurement and restored.
+        let mut sim = Simulation::new(small_cfg());
+        let t0 = sim.now();
+        sim.run_to(t0 + SimDuration::from_millis(1));
+        let t1 = sim.now();
+        sim.world_mut().arm_metrics(t1);
+        sim.run_to(t1 + SimDuration::from_millis(1));
+        let bytes = sim.save_checkpoint().unwrap();
+        drop(sim);
+        let mut back = Simulation::restore_checkpoint(small_cfg(), &bytes).unwrap();
+        assert_eq!(back.now(), t1 + SimDuration::from_millis(1));
+        back.run_to(t1 + SimDuration::from_millis(2));
+        let t2 = back.now();
+        let m1 = back.world_mut().snapshot(t2);
+
+        assert_eq!(m0.delivered_packets, m1.delivered_packets);
+        assert_eq!(m0.delivered_payload_bytes, m1.delivered_payload_bytes);
+        assert_eq!(m0.host_drops(), m1.host_drops());
+        assert_eq!(m0.iotlb_misses, m1.iotlb_misses);
+        assert_eq!(m0.retransmits, m1.retransmits);
+        assert_eq!(m0.host_delay.p99(), m1.host_delay.p99());
+        assert_eq!(m0.rtt.p50(), m1.rtt.p50());
+        assert_eq!(m0.occupancy_samples, m1.occupancy_samples);
+        assert_eq!(m0.mean_cwnd, m1.mean_cwnd);
+    }
+
+    #[test]
+    fn checkpoint_refused_with_tracing() {
+        let mut cfg = small_cfg();
+        cfg.senders = 2;
+        let sim = Simulation::with_trace(cfg, TraceConfig::enabled(4096));
+        assert!(matches!(
+            sim.save_checkpoint(),
+            Err(hostcc_sim::SnapError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_typed_error() {
+        let mut sim = Simulation::new(small_cfg());
+        let t0 = sim.now();
+        sim.run_to(t0 + SimDuration::from_millis(1));
+        let mut bytes = sim.save_checkpoint().unwrap();
+        // Flip a payload byte: checksum must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(Simulation::restore_checkpoint(small_cfg(), &bytes).is_err());
+        bytes[mid] ^= 0x40;
+        // Truncation: typed error, not a panic.
+        let cut = &bytes[..bytes.len() - 7];
+        assert!(Simulation::restore_checkpoint(small_cfg(), cut).is_err());
+        // Config mismatch: typed error.
+        let other = TestbedConfig {
+            senders: 5,
+            receiver_threads: 2,
+            ..TestbedConfig::default()
+        };
+        assert!(matches!(
+            Simulation::restore_checkpoint(other, &bytes),
+            Err(hostcc_sim::SnapError::Corrupt(
+                "config fingerprint mismatch"
+            ))
+        ));
+        // Pristine envelope still restores.
+        assert!(Simulation::restore_checkpoint(small_cfg(), &bytes).is_ok());
     }
 
     #[test]

@@ -170,6 +170,93 @@ impl RxBufferPool {
     fn slot_iova(&self, idx: u32) -> Iova {
         self.region_iova.add(idx as u64 * self.slot_size)
     }
+
+    /// Serialize the pool: geometry, the free list in recycle order, the
+    /// recycle policy (with its RNG stream state) and the counters.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.region_iova.as_u64());
+        w.u64(self.slot_size);
+        w.usize(self.slots);
+        w.usize(self.free.len());
+        for &idx in &self.free {
+            w.u32(idx);
+        }
+        match self.order {
+            RecycleOrder::Fifo => w.u8(0),
+            RecycleOrder::Lifo => w.u8(1),
+            RecycleOrder::Random { seed } => {
+                w.u8(2);
+                w.u64(seed);
+            }
+        }
+        w.u64(self.rng_state);
+        w.usize(self.allocated);
+        w.usize(self.peak_allocated);
+        w.u64(self.alloc_count);
+        w.u64(self.exhausted_count);
+    }
+
+    /// Rebuild a pool from [`save_state`](Self::save_state) output,
+    /// revalidating the free-list/outstanding invariant.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let region_iova = Iova(r.u64()?);
+        let slot_size = r.u64()?;
+        if slot_size == 0 {
+            return Err(SnapError::Corrupt("zero pool slot size"));
+        }
+        let slots = r.usize()?;
+        if slots == 0 {
+            return Err(SnapError::Corrupt("empty buffer pool"));
+        }
+        let n = r.len(4)?;
+        if n > slots {
+            return Err(SnapError::Corrupt("free list larger than pool"));
+        }
+        let mut free = VecDeque::with_capacity(slots);
+        let mut seen = vec![false; slots];
+        for _ in 0..n {
+            let idx = r.u32()?;
+            let slot = seen
+                .get_mut(idx as usize)
+                .ok_or(SnapError::Corrupt("free index out of range"))?;
+            if *slot {
+                return Err(SnapError::Corrupt("duplicate free index"));
+            }
+            *slot = true;
+            free.push_back(idx);
+        }
+        let order = match r.u8()? {
+            0 => RecycleOrder::Fifo,
+            1 => RecycleOrder::Lifo,
+            2 => RecycleOrder::Random { seed: r.u64()? },
+            _ => return Err(SnapError::Corrupt("recycle order out of range")),
+        };
+        let rng_state = r.u64()?;
+        if matches!(order, RecycleOrder::Random { .. }) && rng_state == 0 {
+            return Err(SnapError::Corrupt("zero pool rng state"));
+        }
+        let allocated = r.usize()?;
+        if allocated != slots - free.len() {
+            return Err(SnapError::Corrupt("pool allocation count mismatch"));
+        }
+        let peak_allocated = r.usize()?;
+        if peak_allocated < allocated {
+            return Err(SnapError::Corrupt("pool peak below outstanding"));
+        }
+        Ok(RxBufferPool {
+            region_iova,
+            slot_size,
+            slots,
+            free,
+            order,
+            rng_state,
+            allocated,
+            peak_allocated,
+            alloc_count: r.u64()?,
+            exhausted_count: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,63 @@ impl RxRing {
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.posted, self.consumed, self.empty_events)
     }
+
+    /// Serialize the ring: geometry, posted descriptors in FIFO order,
+    /// head cursor and lifetime counters.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.base.0);
+        w.u32(self.entries);
+        w.u64(self.desc_bytes);
+        w.usize(self.queue.len());
+        for d in &self.queue {
+            w.u32(d.index);
+            w.u64(d.buffer.0);
+        }
+        w.u32(self.head);
+        w.u64(self.posted);
+        w.u64(self.consumed);
+        w.u64(self.empty_events);
+    }
+
+    /// Rebuild a ring from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let base = Iova(r.u64()?);
+        let entries = r.u32()?;
+        if entries == 0 {
+            return Err(SnapError::Corrupt("empty descriptor ring"));
+        }
+        let desc_bytes = r.u64()?;
+        let n = r.len(12)?;
+        if n > entries as usize {
+            return Err(SnapError::Corrupt("descriptor ring overfull"));
+        }
+        let mut queue = VecDeque::with_capacity(entries as usize);
+        for _ in 0..n {
+            let index = r.u32()?;
+            if index >= entries {
+                return Err(SnapError::Corrupt("descriptor slot out of range"));
+            }
+            queue.push_back(RxDescriptor {
+                index,
+                buffer: Iova(r.u64()?),
+            });
+        }
+        let head = r.u32()?;
+        if head >= entries {
+            return Err(SnapError::Corrupt("ring head out of range"));
+        }
+        Ok(RxRing {
+            base,
+            entries,
+            desc_bytes,
+            queue,
+            head,
+            posted: r.u64()?,
+            consumed: r.u64()?,
+            empty_events: r.u64()?,
+        })
+    }
 }
 
 /// A completion queue in host memory: the NIC writes one entry per
@@ -145,6 +202,38 @@ impl CompletionRing {
     /// Completions written over the lifetime.
     pub fn written(&self) -> u64 {
         self.written
+    }
+
+    /// Serialize the completion queue (geometry + cursor + counter).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.base.0);
+        w.u32(self.entries);
+        w.u64(self.cqe_bytes);
+        w.u32(self.head);
+        w.u64(self.written);
+    }
+
+    /// Rebuild a completion queue from [`save_state`](Self::save_state)
+    /// output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let base = Iova(r.u64()?);
+        let entries = r.u32()?;
+        if entries == 0 {
+            return Err(SnapError::Corrupt("empty completion queue"));
+        }
+        let cqe_bytes = r.u64()?;
+        let head = r.u32()?;
+        if head >= entries {
+            return Err(SnapError::Corrupt("completion head out of range"));
+        }
+        Ok(CompletionRing {
+            base,
+            entries,
+            cqe_bytes,
+            head,
+            written: r.u64()?,
+        })
     }
 }
 

@@ -181,6 +181,39 @@ impl CreditState {
     pub fn stalls(&self) -> u64 {
         self.stalls
     }
+
+    /// Serialize the credit state (advertised limits, available credits,
+    /// lifetime counters).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u32(self.config.posted_header);
+        w.u32(self.config.posted_data);
+        w.u32(self.header_avail);
+        w.u32(self.data_avail);
+        w.u64(self.stalls);
+        w.u64(self.admissions);
+    }
+
+    /// Rebuild credit state from [`save_state`](Self::save_state) output.
+    /// Available credits beyond the advertised window are corruption.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let config = CreditConfig {
+            posted_header: r.u32()?,
+            posted_data: r.u32()?,
+        };
+        let header_avail = r.u32()?;
+        let data_avail = r.u32()?;
+        if header_avail > config.posted_header || data_avail > config.posted_data {
+            return Err(SnapError::Corrupt("credits exceed advertised window"));
+        }
+        Ok(CreditState {
+            config,
+            header_avail,
+            data_avail,
+            stalls: r.u64()?,
+            admissions: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,37 @@ impl ReplayChannel {
     pub fn replay_ns(&self) -> u64 {
         self.replay_ns
     }
+
+    /// Serialize the replay channel (timer config, backoff, counters).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.cfg.replay_timer_ns);
+        w.u32(self.cfg.max_backoff);
+        w.u32(self.backoff);
+        w.u64(self.naks);
+        w.u64(self.replays);
+        w.u64(self.replay_ns);
+    }
+
+    /// Rebuild a replay channel from [`save_state`](Self::save_state)
+    /// output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let cfg = ReplayConfig {
+            replay_timer_ns: r.u64()?,
+            max_backoff: r.u32()?,
+        };
+        let backoff = r.u32()?;
+        if backoff > cfg.max_backoff {
+            return Err(SnapError::Corrupt("replay backoff above cap"));
+        }
+        Ok(ReplayChannel {
+            cfg,
+            backoff,
+            naks: r.u64()?,
+            replays: r.u64()?,
+            replay_ns: r.u64()?,
+        })
+    }
 }
 
 impl CounterSource for ReplayChannel {

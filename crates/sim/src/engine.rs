@@ -104,6 +104,35 @@ impl<E, Q: Queue<E>> Scheduler<E, Q> {
     }
 }
 
+impl<E, Q: crate::snap::SnapQueue<E>> Scheduler<E, Q> {
+    /// Serialize the clock and the full pending-event queue.
+    pub fn save_state<F: FnMut(&E, &mut crate::snap::SnapWriter)>(
+        &self,
+        w: &mut crate::snap::SnapWriter,
+        enc: F,
+    ) {
+        w.time(self.now);
+        self.queue.save_state(w, enc);
+    }
+
+    /// Rebuild a scheduler from [`save_state`](Self::save_state) output.
+    pub fn load_state<'a, F>(
+        r: &mut crate::snap::SnapReader<'a>,
+        dec: F,
+    ) -> Result<Self, crate::snap::SnapError>
+    where
+        F: FnMut(&mut crate::snap::SnapReader<'a>) -> Result<E, crate::snap::SnapError>,
+    {
+        let now = r.time()?;
+        let queue = Q::load_state(r, dec)?;
+        Ok(Scheduler {
+            now,
+            queue,
+            _event: PhantomData,
+        })
+    }
+}
+
 /// The mutable simulation state and its event handler.
 ///
 /// `handle` is generic over the queue implementation behind the scheduler

@@ -185,6 +185,60 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Serialize the histogram for a checkpoint. Buckets are written
+    /// sparsely — `(index, count)` pairs for the non-zero ones — since a
+    /// latency histogram touches a few dozen of its ~2k buckets.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.u32(self.sub_bits);
+        w.u64(self.total);
+        w.u64(self.min);
+        w.u64(self.max);
+        w.u128(self.sum);
+        let nonzero = self.counts.iter().filter(|&&c| c != 0).count();
+        w.usize(nonzero);
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                w.usize(idx);
+                w.u64(c);
+            }
+        }
+    }
+
+    /// Rebuild a histogram from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let sub_bits = r.u32()?;
+        if !(1..=8).contains(&sub_bits) {
+            return Err(SnapError::Corrupt("histogram precision out of range"));
+        }
+        let mut h = Histogram::with_precision(sub_bits);
+        h.total = r.u64()?;
+        h.min = r.u64()?;
+        h.max = r.u64()?;
+        h.sum = r.u128()?;
+        let n = r.len(16)?;
+        let mut running = 0u64;
+        for _ in 0..n {
+            let idx = r.usize()?;
+            let c = r.u64()?;
+            let slot = h
+                .counts
+                .get_mut(idx)
+                .ok_or(SnapError::Corrupt("histogram bucket out of range"))?;
+            if c == 0 {
+                return Err(SnapError::Corrupt("zero count in sparse histogram"));
+            }
+            *slot = c;
+            running = running
+                .checked_add(c)
+                .ok_or(SnapError::Corrupt("histogram count overflow"))?;
+        }
+        if running != h.total {
+            return Err(SnapError::Corrupt("histogram total mismatch"));
+        }
+        Ok(h)
+    }
+
     /// Discard all samples.
     pub fn clear(&mut self) {
         self.counts.fill(0);

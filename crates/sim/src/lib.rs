@@ -33,6 +33,7 @@ mod pacer;
 mod parallel;
 mod queue;
 mod rng;
+mod snap;
 mod stats;
 mod time;
 mod wheel;
@@ -43,6 +44,10 @@ pub use pacer::{SerialLink, TokenBucket};
 pub use parallel::{Envelope, ParallelEngine, ShardHost};
 pub use queue::{BinaryHeapQueue, Queue};
 pub use rng::{stream_seed, SimRng, SplitMix64};
+pub use snap::{
+    fnv1a_64, SnapError, SnapQueue, SnapReader, SnapWriter, SNAP_HEADER_LEN, SNAP_MAGIC,
+    SNAP_VERSION,
+};
 pub use wheel::TimingWheel;
 
 /// The engine's default event queue: the timing wheel.

@@ -90,6 +90,38 @@ impl TokenBucket {
             Err(ready)
         }
     }
+
+    /// Serialize the bucket (configuration and fill state) for a checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.f64(self.rate_bps);
+        w.f64(self.burst);
+        w.f64(self.tokens);
+        w.time(self.last);
+        w.u32(self.res.shift());
+    }
+
+    /// Rebuild a bucket from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let rate_bps = r.f64()?;
+        let burst = r.f64()?;
+        let tokens = r.f64()?;
+        let last = r.time()?;
+        let res = u64::checked_shl(1, r.u32()?)
+            .and_then(Resolution::from_nanos)
+            .ok_or(SnapError::Corrupt("bad pacer resolution"))?;
+        let pos_finite = |x: f64| x.is_finite() && x > 0.0;
+        if !pos_finite(rate_bps) || !pos_finite(burst) || !tokens.is_finite() {
+            return Err(SnapError::Corrupt("token bucket state out of range"));
+        }
+        Ok(TokenBucket {
+            rate_bps,
+            burst,
+            tokens,
+            last,
+            res,
+        })
+    }
 }
 
 /// A serialising gate: models a resource that transmits one item at a time
@@ -158,6 +190,34 @@ impl SerialLink {
     /// Total busy (serialising) time accumulated; utilisation = busy/elapsed.
     pub fn busy_time(&self) -> SimDuration {
         self.busy
+    }
+
+    /// Serialize the link (rate and occupancy) for a checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.f64(self.bytes_per_sec);
+        w.time(self.free_at);
+        w.duration(self.busy);
+        w.u32(self.res.shift());
+    }
+
+    /// Rebuild a link from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let bytes_per_sec = r.f64()?;
+        let free_at = r.time()?;
+        let busy = r.duration()?;
+        let res = u64::checked_shl(1, r.u32()?)
+            .and_then(Resolution::from_nanos)
+            .ok_or(SnapError::Corrupt("bad link resolution"))?;
+        if !(bytes_per_sec.is_finite() && bytes_per_sec > 0.0) {
+            return Err(SnapError::Corrupt("link rate out of range"));
+        }
+        Ok(SerialLink {
+            bytes_per_sec,
+            free_at,
+            busy,
+            res,
+        })
     }
 }
 

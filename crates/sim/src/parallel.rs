@@ -190,6 +190,13 @@ impl<H: ShardHost> ParallelEngine<H> {
         self.epochs
     }
 
+    /// Overwrite the lifetime epoch counter. Checkpoint restore only:
+    /// the counter is part of the observable run record, so a resumed
+    /// fleet must report the same total as an uninterrupted one.
+    pub fn set_epochs(&mut self, epochs: u64) {
+        self.epochs = epochs;
+    }
+
     /// Advance every host to exactly `deadline` (inclusive), running
     /// epochs until no host has an event at `t <= deadline`. Callable
     /// repeatedly with non-decreasing deadlines; cross-host messages are

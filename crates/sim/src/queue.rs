@@ -80,6 +80,7 @@ pub trait Queue<E> {
     fn dispatched_total(&self) -> u64;
 }
 
+#[derive(Clone)]
 pub(crate) struct Entry<E> {
     pub(crate) time: SimTime,
     pub(crate) seq: u64,
@@ -147,6 +148,58 @@ impl<E> BinaryHeapQueue<E> {
         let mut q = Self::new();
         q.heap.reserve(cap);
         q
+    }
+}
+
+impl<E: Clone> crate::snap::SnapQueue<E> for BinaryHeapQueue<E> {
+    fn save_state<F: FnMut(&E, &mut crate::snap::SnapWriter)>(
+        &self,
+        w: &mut crate::snap::SnapWriter,
+        mut enc: F,
+    ) {
+        w.u32(self.res.shift());
+        w.u64(self.next_seq);
+        w.u64(self.popped);
+        w.usize(self.heap.len());
+        // Drain a clone so serialization is in exact dispatch order.
+        let mut drain = self.heap.clone();
+        while let Some(e) = drain.pop() {
+            w.time(e.time);
+            enc(&e.event, w);
+        }
+    }
+
+    fn load_state<
+        'a,
+        F: FnMut(&mut crate::snap::SnapReader<'a>) -> Result<E, crate::snap::SnapError>,
+    >(
+        r: &mut crate::snap::SnapReader<'a>,
+        mut dec: F,
+    ) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let shift = r.u32()?;
+        let res = u64::checked_shl(1, shift)
+            .and_then(Resolution::from_nanos)
+            .ok_or(SnapError::Corrupt("bad queue resolution"))?;
+        let next_seq = r.u64()?;
+        let popped = r.u64()?;
+        let n = r.len(9)?;
+        if (n as u64) > next_seq {
+            return Err(SnapError::Corrupt("more pending events than scheduled"));
+        }
+        let mut q = BinaryHeapQueue::with_resolution(res);
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            let t = r.time()?;
+            if t < last {
+                return Err(SnapError::Corrupt("queue events out of order"));
+            }
+            last = t;
+            Queue::push(&mut q, t, dec(r)?);
+        }
+        q.next_seq = next_seq;
+        q.popped = popped;
+        Ok(q)
     }
 }
 

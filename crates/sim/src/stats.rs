@@ -86,6 +86,26 @@ impl Running {
         }
     }
 
+    /// Serialize the accumulator for a checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    /// Rebuild an accumulator from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(Running {
+            n: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
+    }
+
     /// Merge another accumulator into this one (Chan's parallel algorithm).
     pub fn merge(&mut self, other: &Running) {
         if other.n == 0 {
@@ -173,6 +193,24 @@ impl RateMeter {
     pub fn rate_bits_per_sec(&self, now: SimTime) -> f64 {
         self.rate_per_sec(now) * 8.0
     }
+
+    /// Serialize the meter for a checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.total);
+        w.time(self.start);
+        w.time(self.last);
+        w.bool(self.started);
+    }
+
+    /// Rebuild a meter from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(RateMeter {
+            total: r.u64()?,
+            start: r.time()?,
+            last: r.time()?,
+            started: r.bool()?,
+        })
+    }
 }
 
 /// Exponentially-weighted moving average with a configurable gain.
@@ -215,6 +253,30 @@ impl Ewma {
     /// Whether at least one sample has been recorded.
     pub fn is_initialized(&self) -> bool {
         self.initialized
+    }
+
+    /// Serialize the filter (value and initialisation flag; the gain is
+    /// configuration and is written too so restore needs no constructor
+    /// arguments).
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.f64(self.value);
+        w.f64(self.gain);
+        w.bool(self.initialized);
+    }
+
+    /// Rebuild a filter from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let value = r.f64()?;
+        let gain = r.f64()?;
+        let initialized = r.bool()?;
+        if !(gain > 0.0 && gain <= 1.0) {
+            return Err(crate::snap::SnapError::Corrupt("ewma gain out of range"));
+        }
+        Ok(Ewma {
+            value,
+            gain,
+            initialized,
+        })
     }
 }
 

@@ -95,6 +95,7 @@ const NIL: u32 = u32::MAX;
 /// One arena node: an event payload, its quantised timestamp (in
 /// resolution steps — needed to scatter far slots, which hold mixed
 /// times), and the intrusive list link.
+#[derive(Clone)]
 struct Node<E> {
     /// `None` only while the node sits on the free list.
     event: Option<E>,
@@ -109,6 +110,7 @@ struct Node<E> {
 ///
 /// This is the engine's default queue; [`EventQueue`](crate::EventQueue)
 /// is an alias for it.
+#[derive(Clone)]
 pub struct TimingWheel<E> {
     /// log2 of the resolution grid step in ns; all internal times are in
     /// grid steps (`ns >> shift` after rounding up).
@@ -668,6 +670,66 @@ impl<E> TimingWheel<E> {
     /// Total number of events dispatched over the queue's lifetime.
     pub fn dispatched_total(&self) -> u64 {
         self.popped
+    }
+}
+
+impl<E: Clone> crate::snap::SnapQueue<E> for TimingWheel<E> {
+    /// Serialize by draining a clone in dispatch order. The restored wheel
+    /// re-pushes the events into a fresh window (base 0), which may place
+    /// them in different tiers than the original — that only shifts
+    /// *where* bookkeeping work happens, never the pop order: pushes in
+    /// ascending dispatch order get ascending seqs, and the wheel's
+    /// cross-tier ordering guarantee makes the pop sequence a pure
+    /// function of `(time, seq)`.
+    fn save_state<F: FnMut(&E, &mut crate::snap::SnapWriter)>(
+        &self,
+        w: &mut crate::snap::SnapWriter,
+        mut enc: F,
+    ) {
+        w.u32(self.shift);
+        w.u64(self.next_seq);
+        w.u64(self.popped);
+        w.usize(self.len());
+        let mut drain = self.clone();
+        while let Some((t, ev)) = drain.pop() {
+            w.time(t);
+            enc(&ev, w);
+        }
+    }
+
+    fn load_state<
+        'a,
+        F: FnMut(&mut crate::snap::SnapReader<'a>) -> Result<E, crate::snap::SnapError>,
+    >(
+        r: &mut crate::snap::SnapReader<'a>,
+        mut dec: F,
+    ) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let shift = r.u32()?;
+        let res = u64::checked_shl(1, shift)
+            .and_then(Resolution::from_nanos)
+            .ok_or(SnapError::Corrupt("bad wheel resolution"))?;
+        let next_seq = r.u64()?;
+        let popped = r.u64()?;
+        let n = r.len(9)?; // 8 B timestamp + >=1 B event each
+        if (n as u64) > next_seq {
+            return Err(SnapError::Corrupt("more pending events than scheduled"));
+        }
+        let mut q = TimingWheel::with_resolution(res);
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            let t = r.time()?;
+            if t < last {
+                return Err(SnapError::Corrupt("wheel events out of order"));
+            }
+            last = t;
+            q.push(t, dec(r)?);
+        }
+        // Lifetime counters continue from the checkpoint, and future
+        // pushes' seqs sort after every restored entry.
+        q.next_seq = next_seq;
+        q.popped = popped;
+        Ok(q)
     }
 }
 

@@ -31,6 +31,23 @@ impl TriggerKind {
             TriggerKind::Stall => "stall",
         }
     }
+
+    fn tag(&self) -> u8 {
+        match self {
+            TriggerKind::DropBurst => 0,
+            TriggerKind::FaultWindow => 1,
+            TriggerKind::Stall => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, hostcc_sim::SnapError> {
+        Ok(match tag {
+            0 => TriggerKind::DropBurst,
+            1 => TriggerKind::FaultWindow,
+            2 => TriggerKind::Stall,
+            _ => return Err(hostcc_sim::SnapError::Corrupt("trigger kind out of range")),
+        })
+    }
 }
 
 /// One captured dump: the trigger, when it fired, and the last N samples
@@ -123,6 +140,62 @@ impl FlightRecorder {
     /// (cooldown or exhausted slots).
     pub fn triggered(&self) -> u64 {
         self.triggered
+    }
+
+    /// Serialize the captured dumps and trigger bookkeeping. The slot
+    /// geometry (enabled, dump size, cooldown) comes from the config.
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.last_capture_ns);
+        w.u64(self.triggered);
+        w.usize(self.captured);
+        for dump in &self.slots[..self.captured] {
+            w.u8(dump.trigger.tag());
+            w.u64(dump.t_ns);
+            w.usize(dump.samples.len());
+            for s in &dump.samples {
+                s.save_state(w);
+            }
+        }
+    }
+
+    /// Restore into a recorder rebuilt from the same configuration; on any
+    /// error `self` is untouched.
+    pub fn load_state(
+        &mut self,
+        r: &mut hostcc_sim::SnapReader<'_>,
+    ) -> Result<(), hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let last_capture_ns = r.u64()?;
+        let triggered = r.u64()?;
+        let captured = r.usize()?;
+        if captured > self.slots.len() {
+            return Err(SnapError::Corrupt("flight dumps exceed slots"));
+        }
+        let mut dumps = Vec::with_capacity(captured);
+        for _ in 0..captured {
+            let trigger = TriggerKind::from_tag(r.u8()?)?;
+            let t_ns = r.u64()?;
+            let n = r.len(64)?;
+            if n > self.dump_samples {
+                return Err(SnapError::Corrupt("flight dump overfull"));
+            }
+            let mut samples = Vec::with_capacity(self.dump_samples);
+            for _ in 0..n {
+                samples.push(TelemetrySample::load_state(r)?);
+            }
+            dumps.push(FlightDump {
+                trigger,
+                t_ns,
+                samples,
+            });
+        }
+        self.last_capture_ns = last_capture_ns;
+        self.triggered = triggered;
+        self.captured = captured;
+        for (slot, dump) in self.slots.iter_mut().zip(dumps) {
+            *slot = dump;
+        }
+        Ok(())
     }
 }
 

@@ -113,6 +113,50 @@ impl TelemetrySample {
         }
         self.fabric_delay_ns as f64 / self.acks as f64
     }
+
+    /// Serialize the sample (all 17 fields, in declaration order).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.t_ns);
+        w.u64(self.buffer_occupancy_bytes);
+        w.f64(self.buffer_frac);
+        w.u32(self.ring_free_slots);
+        w.u64(self.delivered);
+        w.u64(self.drops);
+        w.u64(self.credit_stalls);
+        w.u64(self.iotlb_lookups);
+        w.u64(self.iotlb_misses);
+        w.u64(self.walks);
+        w.u64(self.packets);
+        w.u64(self.host_delay_ns);
+        w.u64(self.cpu_ns);
+        w.u64(self.acks);
+        w.u64(self.fabric_delay_ns);
+        w.f64(self.mem_util);
+        w.f64(self.mem_latency_ns);
+    }
+
+    /// Rebuild a sample from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        Ok(TelemetrySample {
+            t_ns: r.u64()?,
+            buffer_occupancy_bytes: r.u64()?,
+            buffer_frac: r.f64()?,
+            ring_free_slots: r.u32()?,
+            delivered: r.u64()?,
+            drops: r.u64()?,
+            credit_stalls: r.u64()?,
+            iotlb_lookups: r.u64()?,
+            iotlb_misses: r.u64()?,
+            walks: r.u64()?,
+            packets: r.u64()?,
+            host_delay_ns: r.u64()?,
+            cpu_ns: r.u64()?,
+            acks: r.u64()?,
+            fabric_delay_ns: r.u64()?,
+            mem_util: r.f64()?,
+            mem_latency_ns: r.f64()?,
+        })
+    }
 }
 
 #[cfg(test)]

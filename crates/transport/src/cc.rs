@@ -75,6 +75,20 @@ pub trait CongestionControl: Send {
     fn decrease_stats(&self) -> Option<(u64, u64, u64)> {
         None
     }
+
+    /// Serialize the controller's evolving state (windows, per-round
+    /// accounting, counters). Stateless controllers keep the default no-op.
+    fn save_state(&self, _w: &mut hostcc_sim::SnapWriter) {}
+
+    /// Restore evolving state into a controller rebuilt from the same
+    /// configuration. Implementations must fully decode before mutating
+    /// `self`, so an error leaves the controller untouched.
+    fn load_state(
+        &mut self,
+        _r: &mut hostcc_sim::SnapReader<'_>,
+    ) -> Result<(), hostcc_sim::SnapError> {
+        Ok(())
+    }
 }
 
 /// Smoothed RTT estimate (EWMA with the classic 1/8 gain) shared by
@@ -135,6 +149,22 @@ impl RttEstimator {
         } else {
             self.min_rtt
         }
+    }
+
+    /// Serialize the estimator (smoothed RTT, variance, observed minimum).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.opt(&self.srtt, |d, w| w.duration(*d));
+        w.duration(self.rttvar);
+        w.duration(self.min_rtt);
+    }
+
+    /// Rebuild an estimator from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        Ok(RttEstimator {
+            srtt: r.opt(|r| r.duration())?,
+            rttvar: r.duration()?,
+            min_rtt: r.duration()?,
+        })
     }
 
     /// Retransmission timeout: `srtt + 4·rttvar`, floored.

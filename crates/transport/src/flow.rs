@@ -177,6 +177,29 @@ impl SentWindow {
             }
         }
     }
+
+    fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.base);
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            w.opt(slot, |t, w| w.time(*t));
+        }
+    }
+
+    fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        let base = r.u64()?;
+        let n = r.len(1)?;
+        let mut slots = VecDeque::with_capacity(n.max(64));
+        let mut live = 0usize;
+        for _ in 0..n {
+            let slot = r.opt(|r| r.time())?;
+            if slot.is_some() {
+                live += 1;
+            }
+            slots.push_back(slot);
+        }
+        Ok(SentWindow { base, slots, live })
+    }
 }
 
 /// Send side of one connection.
@@ -438,6 +461,88 @@ impl SenderFlow {
     pub fn rto_deadline(&self) -> Option<SimTime> {
         self.oldest_sent_at().map(|t| t + self.backed_off_rto())
     }
+
+    /// Serialize the flow's evolving state, including the boxed congestion
+    /// controller (via [`CongestionControl::save_state`]).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.next_new_seq);
+        w.u64(self.cum_acked);
+        self.outstanding.save_state(w);
+        w.usize(self.rtx_queue.len());
+        for &seq in &self.rtx_queue {
+            w.u64(seq);
+        }
+        w.u32(self.dup_acks);
+        w.u64(self.recovery_end);
+        w.u64(self.rtx_next);
+        w.u64(self.data_frontier);
+        w.time(self.next_pace_at);
+        w.u32(self.backoff);
+        w.u64(self.stats.data_sent);
+        w.u64(self.stats.retransmits);
+        w.u64(self.stats.acked);
+        w.u64(self.stats.fast_retransmits);
+        w.u64(self.stats.timeouts);
+        self.rtt.save_state(w);
+        self.cc.save_state(w);
+    }
+
+    /// Restore into a flow rebuilt with the same config and controller
+    /// type. All plain fields are decoded before anything is assigned, and
+    /// the controller itself restores all-or-nothing, so an error leaves
+    /// `self` untouched.
+    pub fn load_state(
+        &mut self,
+        r: &mut hostcc_sim::SnapReader<'_>,
+    ) -> Result<(), hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let next_new_seq = r.u64()?;
+        let cum_acked = r.u64()?;
+        if cum_acked > next_new_seq {
+            return Err(SnapError::Corrupt("flow acked beyond sent"));
+        }
+        let outstanding = SentWindow::load_state(r)?;
+        if outstanding.base > next_new_seq {
+            return Err(SnapError::Corrupt("sent window beyond frontier"));
+        }
+        let n = r.len(8)?;
+        let mut rtx_queue = VecDeque::with_capacity(n.max(32));
+        for _ in 0..n {
+            let seq = r.u64()?;
+            if seq >= next_new_seq {
+                return Err(SnapError::Corrupt("retransmit of unsent data"));
+            }
+            rtx_queue.push_back(seq);
+        }
+        let dup_acks = r.u32()?;
+        let recovery_end = r.u64()?;
+        let rtx_next = r.u64()?;
+        let data_frontier = r.u64()?;
+        let next_pace_at = r.time()?;
+        let backoff = r.u32()?;
+        let stats = FlowStats {
+            data_sent: r.u64()?,
+            retransmits: r.u64()?,
+            acked: r.u64()?,
+            fast_retransmits: r.u64()?,
+            timeouts: r.u64()?,
+        };
+        let rtt = RttEstimator::load_state(r)?;
+        self.cc.load_state(r)?;
+        self.next_new_seq = next_new_seq;
+        self.cum_acked = cum_acked;
+        self.outstanding = outstanding;
+        self.rtx_queue = rtx_queue;
+        self.dup_acks = dup_acks;
+        self.recovery_end = recovery_end;
+        self.rtx_next = rtx_next;
+        self.data_frontier = data_frontier;
+        self.next_pace_at = next_pace_at;
+        self.backoff = backoff;
+        self.stats = stats;
+        self.rtt = rtt;
+        Ok(())
+    }
 }
 
 /// Receive side of one connection: in-order tracking + cumulative ACKs.
@@ -520,6 +625,40 @@ impl ReceiverFlow {
     /// Duplicate data packets seen (spurious retransmissions).
     pub fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// Serialize the receive state (expected sequence, reorder bitmap,
+    /// delivery counters).
+    pub fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        w.u64(self.expected);
+        w.usize(self.out_of_order.len());
+        for &bit in &self.out_of_order {
+            w.bool(bit);
+        }
+        w.u64(self.delivered_packets);
+        w.u64(self.duplicates);
+    }
+
+    /// Rebuild receive state from [`save_state`](Self::save_state) output.
+    pub fn load_state(r: &mut hostcc_sim::SnapReader<'_>) -> Result<Self, hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        let expected = r.u64()?;
+        let n = r.len(1)?;
+        let mut out_of_order = VecDeque::with_capacity(n.max(64));
+        for _ in 0..n {
+            out_of_order.push_back(r.bool()?);
+        }
+        if out_of_order.front() == Some(&true) {
+            // Bit 0 arriving means `expected` arrived — the receiver would
+            // have advanced past it immediately.
+            return Err(SnapError::Corrupt("reorder bitmap head set"));
+        }
+        Ok(ReceiverFlow {
+            expected,
+            out_of_order,
+            delivered_packets: r.u64()?,
+            duplicates: r.u64()?,
+        })
     }
 }
 

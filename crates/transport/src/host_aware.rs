@@ -125,6 +125,35 @@ impl CongestionControl for HostAware {
         let (f, e, l) = self.swift.decrease_stats()?;
         Some((f, e + self.occupancy_decreases, l))
     }
+
+    fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        self.swift.save_state(w);
+        w.f64(self.occ_cwnd);
+        w.u64(self.occupancy_decreases);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut hostcc_sim::SnapReader<'_>,
+    ) -> Result<(), hostcc_sim::SnapError> {
+        use hostcc_sim::SnapError;
+        // Decode the occupancy window into a scratch Swift first so a
+        // failure past the Swift bytes cannot leave `self` half-restored.
+        let mut swift = Swift::new(self.cfg.swift.clone(), self.occ_cwnd.max(1.0));
+        swift.load_state(r)?;
+        let occ_cwnd = r.f64()?;
+        if !occ_cwnd.is_finite()
+            || occ_cwnd < self.cfg.swift.min_cwnd
+            || occ_cwnd > self.cfg.swift.max_cwnd
+        {
+            return Err(SnapError::Corrupt("occupancy window out of bounds"));
+        }
+        let occupancy_decreases = r.u64()?;
+        self.swift = swift;
+        self.occ_cwnd = occ_cwnd;
+        self.occupancy_decreases = occupancy_decreases;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -170,6 +170,25 @@ impl Swift {
     pub fn windows(&self) -> (f64, f64) {
         (self.fabric.cwnd, self.endpoint.cwnd)
     }
+
+    fn save_window(win: &DelayWindow, w: &mut hostcc_sim::SnapWriter) {
+        w.f64(win.cwnd);
+        w.time(win.last_decrease);
+    }
+
+    fn load_window(
+        r: &mut hostcc_sim::SnapReader<'_>,
+        cfg: &SwiftConfig,
+    ) -> Result<DelayWindow, hostcc_sim::SnapError> {
+        let cwnd = r.f64()?;
+        if !cwnd.is_finite() || cwnd < cfg.min_cwnd || cwnd > cfg.max_cwnd {
+            return Err(hostcc_sim::SnapError::Corrupt("swift window out of bounds"));
+        }
+        Ok(DelayWindow {
+            cwnd,
+            last_decrease: r.time()?,
+        })
+    }
 }
 
 impl CongestionControl for Swift {
@@ -222,6 +241,33 @@ impl CongestionControl for Swift {
             self.stats.endpoint_decreases,
             self.stats.losses,
         ))
+    }
+
+    fn save_state(&self, w: &mut hostcc_sim::SnapWriter) {
+        Self::save_window(&self.fabric, w);
+        Self::save_window(&self.endpoint, w);
+        w.u64(self.stats.acks);
+        w.u64(self.stats.fabric_decreases);
+        w.u64(self.stats.endpoint_decreases);
+        w.u64(self.stats.losses);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut hostcc_sim::SnapReader<'_>,
+    ) -> Result<(), hostcc_sim::SnapError> {
+        let fabric = Self::load_window(r, &self.cfg)?;
+        let endpoint = Self::load_window(r, &self.cfg)?;
+        let stats = SwiftStats {
+            acks: r.u64()?,
+            fabric_decreases: r.u64()?,
+            endpoint_decreases: r.u64()?,
+            losses: r.u64()?,
+        };
+        self.fabric = fabric;
+        self.endpoint = endpoint;
+        self.stats = stats;
+        Ok(())
     }
 }
 

@@ -16,7 +16,10 @@ fn run(cfg: TestbedConfig, plan: RunPlan) -> hostcc::RunMetrics {
     try_run(cfg, plan).expect("figure config runs")
 }
 
-fn sweep<L: Send>(points: Vec<(L, TestbedConfig)>, plan: RunPlan) -> Vec<SweepPoint<L>> {
+fn sweep<L: Send + std::fmt::Debug>(
+    points: Vec<(L, TestbedConfig)>,
+    plan: RunPlan,
+) -> Vec<SweepPoint<L>> {
     try_sweep(points, plan).expect("figure configs run")
 }
 
