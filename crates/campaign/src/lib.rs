@@ -31,7 +31,7 @@ pub mod manifest;
 pub mod runner;
 
 pub use bisect::{bisect, BisectReport};
-pub use manifest::{Manifest, PointSpec};
+pub use manifest::{FleetSpec, Manifest, PointSpec};
 pub use runner::{execute, ExecuteOptions, RunReport};
 
 use hostcc_host::RunError;
@@ -64,6 +64,8 @@ pub enum CampaignError {
     BadOverride(String),
     /// `campaign bisect` was pointed at a label not in the manifest grid.
     UnknownPoint(String),
+    /// A single-host operation (bisect) was pointed at a fleet point.
+    FleetPoint(String),
     /// Bisect needs a pre-fault checkpoint that was never written (the
     /// point has no faults, or the campaign has not run yet).
     MissingCheckpoint(String),
@@ -109,6 +111,13 @@ impl std::fmt::Display for CampaignError {
             }
             CampaignError::UnknownPoint(label) => {
                 write!(f, "no grid point labelled `{label}` in this manifest")
+            }
+            CampaignError::FleetPoint(label) => {
+                write!(
+                    f,
+                    "point `{label}` is a fleet point; this operation is \
+                     single-host only (bisect a scenario point instead)"
+                )
             }
             CampaignError::MissingCheckpoint(label) => {
                 write!(

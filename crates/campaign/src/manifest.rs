@@ -7,18 +7,24 @@
 //! warmup_ms = 5
 //! measure_ms = 10
 //! checkpoint_every_ms = 5
-//! scenarios = incast, antagonist-8
+//! scenarios = incast, antagonist-8, fleet
 //! seeds = 1, 2
 //! faults = none, replay
 //! overrides = none, threads=4;iommu=off
+//! fleet_hosts = 32, 64          # expands the `fleet` scenario only
+//! fleet_shards = 1, 4
+//! fleet_topology = tree:4, rack:16
 //! ```
 //!
 //! The grid is the cartesian product in deterministic nesting order
 //! (scenario outermost, override innermost), so point labels and the
 //! completion journal are stable across re-parses — the property resume
-//! depends on.
+//! depends on. The `fleet` scenario expands through three extra axes
+//! (hosts × shards × topology) nested between the scenario and the seed;
+//! the other scenarios ignore them.
 
 use crate::CampaignError;
+use hostcc::fleet::{FleetConfig, FleetTopology};
 use hostcc::scenarios;
 use hostcc::{FaultKind, TestbedConfig};
 use hostcc_sim::SimDuration;
@@ -33,6 +39,7 @@ pub const SCENARIO_NAMES: &[&str] = &[
     "chaos-replay",
     "chaos-flap",
     "chaos-invalidate",
+    "fleet",
 ];
 
 /// A parsed campaign manifest.
@@ -56,6 +63,13 @@ pub struct Manifest {
     pub faults: Vec<String>,
     /// Config-override specs (`none` or `key=value[;key=value...]`).
     pub overrides: Vec<String>,
+    /// Host counts the `fleet` scenario expands through.
+    pub fleet_hosts: Vec<u32>,
+    /// Shard (worker-thread) counts the `fleet` scenario expands through.
+    pub fleet_shards: Vec<u32>,
+    /// Topology specs (`ring:K`, `tree:K`, `rack:K`) the `fleet`
+    /// scenario expands through.
+    pub fleet_topologies: Vec<String>,
 }
 
 /// One grid point: everything needed to build its configuration and to
@@ -74,10 +88,25 @@ pub struct PointSpec {
     pub override_idx: usize,
     /// The override spec itself.
     pub override_spec: String,
-    /// Stable label: `{scenario}-s{seed}-{fault}-o{override_idx}`.
-    /// Restricted to `[a-z0-9.+=;-]`, so it is safe as a filename and
-    /// needs no escaping inside the hand-rolled JSON artifacts.
+    /// Fleet axes, for points of the `fleet` scenario only.
+    pub fleet: Option<FleetSpec>,
+    /// Stable label: `{scenario}-s{seed}-{fault}-o{override_idx}`, with
+    /// `-h{hosts}-x{shards}-{topology}` spliced after the scenario for
+    /// fleet points (`:` becomes `.`). Restricted to `[a-z0-9.+=;-]`, so
+    /// it is safe as a filename and needs no escaping inside the
+    /// hand-rolled JSON artifacts.
     pub label: String,
+}
+
+/// The fleet axes of one `fleet` grid point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Host count.
+    pub hosts: u32,
+    /// Worker-thread count.
+    pub shards: u32,
+    /// Topology spec as written in the manifest (`tree:4`, …).
+    pub topology: String,
 }
 
 impl Manifest {
@@ -93,6 +122,9 @@ impl Manifest {
             seeds: vec![1],
             faults: vec!["none".to_string()],
             overrides: vec!["none".to_string()],
+            fleet_hosts: vec![8],
+            fleet_shards: vec![1],
+            fleet_topologies: vec!["tree:4".to_string()],
         };
         for (i, raw) in text.lines().enumerate() {
             let lineno = i + 1;
@@ -140,6 +172,29 @@ impl Manifest {
                             })?);
                     }
                 }
+                "fleet_hosts" | "fleet_shards" => {
+                    let mut out = Vec::new();
+                    for s in list(value) {
+                        out.push(s.parse::<u32>().map_err(|_| CampaignError::Manifest {
+                            line: lineno,
+                            reason: format!("`{key}` wants integers, got `{s}`"),
+                        })?);
+                    }
+                    if key == "fleet_hosts" {
+                        m.fleet_hosts = out;
+                    } else {
+                        m.fleet_shards = out;
+                    }
+                }
+                "fleet_topology" => {
+                    for t in list(value) {
+                        FleetTopology::parse(&t).map_err(|reason| CampaignError::Manifest {
+                            line: lineno,
+                            reason,
+                        })?;
+                    }
+                    m.fleet_topologies = list(value);
+                }
                 other => {
                     return Err(CampaignError::Manifest {
                         line: lineno,
@@ -166,10 +221,28 @@ impl Manifest {
                 reason: "`checkpoint_every_ms` and `measure_ms` must be positive".to_string(),
             });
         }
+        if m.scenarios.iter().any(|s| s == "fleet")
+            && (m.fleet_hosts.is_empty() || m.fleet_shards.is_empty())
+        {
+            return Err(CampaignError::Manifest {
+                line: 0,
+                reason: "`fleet_hosts` and `fleet_shards` must be non-empty".to_string(),
+            });
+        }
         // Validate every grid point now, so a typo fails the whole
-        // campaign up front instead of mid-run at point 37.
+        // campaign up front instead of mid-run at point 37. Fleet points
+        // get the full fleet validation (hosts/shards/topology bounds and
+        // every derived host configuration).
         for p in m.points() {
-            m.build_config(&p)?;
+            if p.fleet.is_some() {
+                let cfg = m.build_fleet_config(&p)?;
+                cfg.validate().map_err(|source| CampaignError::Run {
+                    label: p.label.clone(),
+                    source,
+                })?;
+            } else {
+                m.build_config(&p)?;
+            }
         }
         Ok(m)
     }
@@ -180,24 +253,54 @@ impl Manifest {
         Manifest::parse(&text)
     }
 
-    /// The grid, in deterministic order: scenarios ▸ seeds ▸ faults ▸
+    /// The grid, in deterministic order: scenarios ▸ (fleet hosts ▸
+    /// shards ▸ topology, for the `fleet` scenario) ▸ seeds ▸ faults ▸
     /// overrides, innermost fastest.
     pub fn points(&self) -> Vec<PointSpec> {
         let mut out = Vec::new();
         for scenario in &self.scenarios {
-            for &seed in &self.seeds {
-                for fault in &self.faults {
-                    for (oi, ov) in self.overrides.iter().enumerate() {
-                        let label = format!("{scenario}-s{seed}-{fault}-o{oi}");
-                        out.push(PointSpec {
-                            index: out.len(),
-                            scenario: scenario.clone(),
-                            seed,
-                            fault: fault.clone(),
-                            override_idx: oi,
-                            override_spec: ov.clone(),
-                            label,
-                        });
+            let fleet_axes: Vec<Option<FleetSpec>> = if scenario == "fleet" {
+                let mut axes = Vec::new();
+                for &hosts in &self.fleet_hosts {
+                    for &shards in &self.fleet_shards {
+                        for topo in &self.fleet_topologies {
+                            axes.push(Some(FleetSpec {
+                                hosts,
+                                shards,
+                                topology: topo.clone(),
+                            }));
+                        }
+                    }
+                }
+                axes
+            } else {
+                vec![None]
+            };
+            for fleet in &fleet_axes {
+                let prefix = match fleet {
+                    Some(f) => format!(
+                        "{scenario}-h{}-x{}-{}",
+                        f.hosts,
+                        f.shards,
+                        f.topology.replace(':', ".")
+                    ),
+                    None => scenario.clone(),
+                };
+                for &seed in &self.seeds {
+                    for fault in &self.faults {
+                        for (oi, ov) in self.overrides.iter().enumerate() {
+                            let label = format!("{prefix}-s{seed}-{fault}-o{oi}");
+                            out.push(PointSpec {
+                                index: out.len(),
+                                scenario: scenario.clone(),
+                                seed,
+                                fault: fault.clone(),
+                                override_idx: oi,
+                                override_spec: ov.clone(),
+                                fleet: fleet.clone(),
+                                label,
+                            });
+                        }
                     }
                 }
             }
@@ -213,12 +316,37 @@ impl Manifest {
             .ok_or_else(|| CampaignError::UnknownPoint(label.to_string()))
     }
 
-    /// Build the testbed configuration for one grid point.
+    /// Build the testbed configuration for one single-host grid point.
+    /// Fleet points have no single testbed — use
+    /// [`build_fleet_config`](Self::build_fleet_config) instead; asking
+    /// for one here is a typed error (this is what `campaign bisect`,
+    /// which is single-host only, reports for a fleet label).
     pub fn build_config(&self, p: &PointSpec) -> Result<TestbedConfig, CampaignError> {
+        if p.fleet.is_some() {
+            return Err(CampaignError::FleetPoint(p.label.clone()));
+        }
         let mut cfg = scenario_config(&p.scenario)?;
         apply_override(&mut cfg, &p.override_spec)?;
         apply_fault(&mut cfg, &p.fault)?;
         cfg.seed = p.seed;
+        Ok(cfg)
+    }
+
+    /// Build the fleet configuration for one `fleet` grid point: the
+    /// light host profile on the point's hosts × shards × topology axes,
+    /// with overrides and the fault plan applied to the per-host base
+    /// template and the point's seed as the fleet seed.
+    pub fn build_fleet_config(&self, p: &PointSpec) -> Result<FleetConfig, CampaignError> {
+        let Some(f) = &p.fleet else {
+            return Err(CampaignError::UnknownPoint(p.label.clone()));
+        };
+        let topology = FleetTopology::parse(&f.topology)
+            .map_err(|reason| CampaignError::Manifest { line: 0, reason })?;
+        let mut cfg = FleetConfig::light_fleet(f.hosts, f.shards);
+        cfg.topology = topology;
+        cfg.seed = p.seed;
+        apply_override(&mut cfg.base, &p.override_spec)?;
+        apply_fault(&mut cfg.base, &p.fault)?;
         Ok(cfg)
     }
 }
@@ -362,6 +490,71 @@ mod tests {
         assert!(matches!(err, CampaignError::UnknownFault(_)), "{err}");
         let err = Manifest::parse("scenarios = incast\noverrides = depth=11\n").unwrap_err();
         assert!(matches!(err, CampaignError::BadOverride(_)), "{err}");
+    }
+
+    #[test]
+    fn fleet_scenario_expands_the_fleet_axes() {
+        let m = Manifest::parse(
+            "scenarios = incast, fleet\n\
+             seeds = 1\n\
+             fleet_hosts = 8, 12\n\
+             fleet_shards = 1, 2\n\
+             fleet_topology = tree:2, rack:4\n",
+        )
+        .expect("valid fleet manifest");
+        let pts = m.points();
+        // 1 incast point + 2 hosts × 2 shards × 2 topologies.
+        assert_eq!(pts.len(), 1 + 8);
+        assert_eq!(pts[0].label, "incast-s1-none-o0");
+        assert!(pts[0].fleet.is_none());
+        assert_eq!(pts[1].label, "fleet-h8-x1-tree.2-s1-none-o0");
+        assert_eq!(
+            pts[1].fleet,
+            Some(FleetSpec {
+                hosts: 8,
+                shards: 1,
+                topology: "tree:2".to_string(),
+            })
+        );
+        assert_eq!(pts[8].label, "fleet-h12-x2-rack.4-s1-none-o0");
+        for p in &pts[1..] {
+            let cfg = m.build_fleet_config(p).expect("fleet point builds");
+            assert_eq!(cfg.seed, p.seed);
+            assert_eq!(cfg.hosts, p.fleet.as_ref().unwrap().hosts);
+            assert_eq!(cfg.shards, p.fleet.as_ref().unwrap().shards);
+            // Labels stay filename-safe: the `:` never reaches them.
+            assert!(p
+                .label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "-.+=;".contains(c)));
+            // A fleet point has no single-host config — typed error.
+            assert!(matches!(
+                m.build_config(p),
+                Err(CampaignError::FleetPoint(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn fleet_axes_are_validated_at_parse_time() {
+        let err = Manifest::parse("scenarios = fleet\nfleet_topology = warp:9\n").unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Manifest { line: 2, .. }),
+            "{err}"
+        );
+        let err = Manifest::parse("scenarios = fleet\nfleet_hosts = x\n").unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Manifest { line: 2, .. }),
+            "{err}"
+        );
+        // shards > hosts is caught by fleet validation before any run.
+        let err =
+            Manifest::parse("scenarios = fleet\nfleet_hosts = 2\nfleet_shards = 4\n").unwrap_err();
+        assert!(matches!(err, CampaignError::Run { .. }), "{err}");
+        // Non-fleet manifests ignore the axes entirely.
+        let m = Manifest::parse("scenarios = incast\nfleet_hosts = 2\nfleet_shards = 4\n")
+            .expect("axes unused without the fleet scenario");
+        assert_eq!(m.points().len(), 1);
     }
 
     #[test]

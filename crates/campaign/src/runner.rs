@@ -20,6 +20,7 @@
 use crate::artifact::{append_journal, atomic_write, read_journal, JournalEntry};
 use crate::manifest::Manifest;
 use crate::{io_err, CampaignError};
+use hostcc::fleet::{Fleet, FleetConfig};
 use hostcc_host::{RunError, Simulation, TestbedConfig};
 use hostcc_sim::{fnv1a_64, RunOutcome, SimTime, SnapError, SnapReader, SnapWriter};
 use std::path::{Path, PathBuf};
@@ -145,6 +146,56 @@ pub(crate) fn decode_point(
     Ok((sim, lines))
 }
 
+/// Decode a point checkpoint back into a restored fleet plus the
+/// artifact lines accumulated before the snapshot (the fleet analogue of
+/// [`decode_point`]; same envelope, fleet checkpoint in the bytes slot).
+fn decode_fleet_point(
+    cfg: &FleetConfig,
+    label: &str,
+    bytes: &[u8],
+) -> Result<(Fleet, Vec<String>), RunError> {
+    let mut r = SnapReader::open(bytes)?;
+    if r.str()? != label {
+        return Err(SnapError::Corrupt("checkpoint label mismatch").into());
+    }
+    let joined = r.str()?.to_string();
+    let fleet_bytes = r.bytes()?;
+    let fleet = Fleet::restore_checkpoint(cfg, fleet_bytes)?;
+    r.finish()?;
+    let lines = if joined.is_empty() {
+        Vec::new()
+    } else {
+        joined.lines().map(String::from).collect()
+    };
+    Ok((fleet, lines))
+}
+
+/// Render the final-metrics JSONL line for a completed fleet point:
+/// aggregates over every host, plus the engine's epoch accounting. The
+/// aggregate throughput carries its IEEE-754 bit pattern so artifact
+/// diffs stay exact, same as the single-host final line. Placement-
+/// derived numbers (per-shard totals, imbalance) are deliberately
+/// absent: artifacts must be bit-identical under any host→shard
+/// assignment.
+fn fleet_final_line(t2: u64, fleet: &Fleet, per_host: &[hostcc_host::RunMetrics]) -> String {
+    let delivered: u64 = per_host.iter().map(|m| m.delivered_packets).sum();
+    let payload: u64 = per_host.iter().map(|m| m.delivered_payload_bytes).sum();
+    let drops: u64 = per_host.iter().map(|m| m.host_drops()).sum();
+    let retransmits: u64 = per_host.iter().map(|m| m.retransmits).sum();
+    let gbps: f64 = per_host.iter().map(|m| m.app_throughput_gbps()).sum();
+    format!(
+        "{{\"t_ns\":{t2},\"final\":true,\"fleet_hosts\":{},\
+         \"delivered_packets\":{delivered},\"delivered_payload_bytes\":{payload},\
+         \"drops\":{drops},\"retransmits\":{retransmits},\
+         \"aggregate_gbps\":{gbps:.3},\"aggregate_bits\":{},\
+         \"epochs\":{},\"super_epochs\":{}}}",
+        per_host.len(),
+        gbps.to_bits(),
+        fleet.epochs(),
+        fleet.super_epochs(),
+    )
+}
+
 /// Render the final-metrics JSONL line for a completed point. Floats are
 /// carried as IEEE-754 bit patterns alongside the readable value, so
 /// artifact diffs are exact.
@@ -209,6 +260,23 @@ pub fn execute(
     'points: for p in m.points() {
         if done.contains(&p.label) {
             report.skipped.push(p.label.clone());
+            continue;
+        }
+        if p.fleet.is_some() {
+            let aborted = run_fleet_point(
+                m,
+                &p,
+                &layout,
+                opts,
+                &bounds,
+                (t1, t2),
+                &mut slices_done,
+                &mut report,
+                log,
+            )?;
+            if aborted {
+                return Ok(report);
+            }
             continue;
         }
         let cfg = m.build_config(&p)?;
@@ -339,6 +407,157 @@ pub fn execute(
     Ok(report)
 }
 
+/// Execute (or resume) one fleet grid point through the same slice
+/// schedule as the single-host path: run to each boundary, checkpoint
+/// the whole fleet, append a digest line, and atomically rewrite the
+/// artifact + checkpoint pair. After every boundary the engine is
+/// cost-rebalanced onto the measured per-host event counters —
+/// observationally inert (placement never feeds the simulation), so the
+/// artifacts stay byte-identical with or without it, interrupted or not.
+/// Returns `Ok(true)` when the simulated-crash hook fired.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_point(
+    m: &Manifest,
+    p: &crate::manifest::PointSpec,
+    layout: &Layout,
+    opts: &ExecuteOptions,
+    bounds: &[u64],
+    (t1, t2): (u64, u64),
+    slices_done: &mut u64,
+    report: &mut RunReport,
+    log: &mut dyn FnMut(&str),
+) -> Result<bool, CampaignError> {
+    let run_err = |source: RunError| CampaignError::Run {
+        label: p.label.clone(),
+        source,
+    };
+    let cfg = m.build_fleet_config(p)?;
+    cfg.validate().map_err(run_err)?;
+    let earliest_fault: Option<u64> = cfg
+        .base
+        .faults
+        .specs
+        .iter()
+        .flat_map(|s| s.occurrences())
+        .map(|d| d.as_nanos())
+        .min();
+
+    let ckpt_path = layout.checkpoint(&p.label);
+    let mut restored = false;
+    let (mut fleet, mut lines) = if opts.resume && ckpt_path.exists() {
+        let raw = std::fs::read(&ckpt_path).map_err(|e| io_err(&ckpt_path, e))?;
+        match decode_fleet_point(&cfg, &p.label, &raw) {
+            Ok((fleet, lines)) => {
+                restored = true;
+                report.resumed.push(p.label.clone());
+                log(&format!(
+                    "{}: restored fleet checkpoint at {} ns ({} slice(s) already recorded)",
+                    p.label,
+                    fleet.now().as_nanos(),
+                    lines.len()
+                ));
+                (fleet, lines)
+            }
+            Err(e) => {
+                log(&format!(
+                    "{}: checkpoint unusable ({e}); restarting point from scratch",
+                    p.label
+                ));
+                report.fallbacks.push(p.label.clone());
+                (Fleet::new(&cfg).map_err(run_err)?, Vec::new())
+            }
+        }
+    } else {
+        (Fleet::new(&cfg).map_err(run_err)?, Vec::new())
+    };
+    if !restored {
+        for stale in [&ckpt_path, &layout.prefault(&p.label)] {
+            match std::fs::remove_file(stale) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(stale, e)),
+            }
+        }
+    }
+    atomic_write(&layout.artifact(&p.label), render(&lines).as_bytes())?;
+
+    let resumed_from = fleet.now().as_nanos();
+    for &b in bounds.iter().filter(|&&b| b > resumed_from) {
+        if let Some(limit) = opts.abort_after_slices {
+            if *slices_done >= limit {
+                report.aborted = true;
+                log(&format!(
+                    "aborting after {} slice(s) (simulated crash)",
+                    *slices_done
+                ));
+                return Ok(true);
+            }
+        }
+        let bt = SimTime::from_nanos(b);
+        if let Err(e) = fleet.run_to(bt) {
+            let at = match &e {
+                RunError::Stalled { at, .. } => at.as_nanos(),
+                _ => b,
+            };
+            let entry = JournalEntry {
+                label: p.label.clone(),
+                status: "failed".to_string(),
+                t_ns: at,
+            };
+            append_journal(&layout.journal, &entry)?;
+            let msg = format!("{e}; last checkpoint kept");
+            log(&format!("{}: {msg}", p.label));
+            report.failed.push((p.label.clone(), msg));
+            return Ok(false);
+        }
+        if b == t1 {
+            for h in fleet.hosts_mut() {
+                h.sim_mut().world_mut().arm_metrics(bt);
+            }
+        }
+        let fleet_ckpt = fleet
+            .save_checkpoint()
+            .map_err(|e| run_err(RunError::from(e)))?;
+        lines.push(format!(
+            "{{\"t_ns\":{b},\"digest\":{},\"dispatched\":{}}}",
+            fnv1a_64(&fleet_ckpt),
+            fleet.dispatched_total()
+        ));
+        if b == t2 {
+            let per_host: Vec<hostcc_host::RunMetrics> = fleet
+                .hosts_mut()
+                .iter_mut()
+                .map(|h| h.sim_mut().world_mut().snapshot(bt))
+                .collect();
+            lines.push(fleet_final_line(t2, &fleet, &per_host));
+        }
+        let envelope = encode_point(&p.label, &lines, &fleet_ckpt);
+        if earliest_fault.is_some_and(|ef| b < ef) {
+            atomic_write(&layout.prefault(&p.label), &envelope)?;
+        }
+        atomic_write(&ckpt_path, &envelope)?;
+        atomic_write(&layout.artifact(&p.label), render(&lines).as_bytes())?;
+        *slices_done += 1;
+        fleet.rebalance();
+    }
+
+    append_journal(
+        &layout.journal,
+        &JournalEntry {
+            label: p.label.clone(),
+            status: "done".to_string(),
+            t_ns: t2,
+        },
+    )?;
+    log(&format!(
+        "{}: done ({} artifact lines)",
+        p.label,
+        lines.len()
+    ));
+    report.completed.push(p.label.clone());
+    Ok(false)
+}
+
 /// Join artifact lines with a trailing newline (empty file for no lines).
 fn render(lines: &[String]) -> String {
     if lines.is_empty() {
@@ -464,6 +683,79 @@ mod tests {
         let a = fs::read(reference.join("points/incast-s7-none-o0.jsonl")).unwrap();
         let b = fs::read(interrupted.join("points/incast-s7-none-o0.jsonl")).unwrap();
         assert_eq!(a, b, "resumed artifact must be byte-identical");
+        let _ = fs::remove_dir_all(&reference);
+        let _ = fs::remove_dir_all(&interrupted);
+    }
+
+    fn tiny_fleet_manifest() -> Manifest {
+        Manifest::parse(
+            "name = tinyfleet\n\
+             warmup_ms = 1\n\
+             measure_ms = 2\n\
+             checkpoint_every_ms = 1\n\
+             scenarios = fleet\n\
+             seeds = 3\n\
+             fleet_hosts = 4\n\
+             fleet_shards = 2\n\
+             fleet_topology = tree:2\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_point_completes_with_aggregate_final_line() {
+        let m = tiny_fleet_manifest();
+        let d = tmpdir("fleet");
+        let mut log = quiet();
+        let r = execute(&m, &d, &ExecuteOptions::default(), &mut log).unwrap();
+        assert_eq!(r.completed, vec!["fleet-h4-x2-tree.2-s3-none-o0"]);
+        assert!(r.failed.is_empty() && !r.aborted);
+        let art = fs::read_to_string(d.join("points/fleet-h4-x2-tree.2-s3-none-o0.jsonl")).unwrap();
+        assert_eq!(art.lines().count(), 4, "{art}");
+        let last = art.lines().last().unwrap();
+        assert!(last.contains("\"final\":true"), "{last}");
+        assert!(last.contains("\"fleet_hosts\":4"), "{last}");
+        assert!(last.contains("\"aggregate_gbps\":"), "{last}");
+        assert!(last.contains("\"epochs\":"), "{last}");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn fleet_kill_and_resume_reproduces_artifacts_byte_for_byte() {
+        let m = tiny_fleet_manifest();
+        let reference = tmpdir("fref");
+        let interrupted = tmpdir("fint");
+        let mut log = quiet();
+        execute(&m, &reference, &ExecuteOptions::default(), &mut log).unwrap();
+
+        let r = execute(
+            &m,
+            &interrupted,
+            &ExecuteOptions {
+                resume: false,
+                abort_after_slices: Some(2),
+            },
+            &mut log,
+        )
+        .unwrap();
+        assert!(r.aborted);
+        assert!(r.completed.is_empty());
+        let r = execute(
+            &m,
+            &interrupted,
+            &ExecuteOptions {
+                resume: true,
+                ..Default::default()
+            },
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(r.resumed, vec!["fleet-h4-x2-tree.2-s3-none-o0"]);
+        assert_eq!(r.completed, vec!["fleet-h4-x2-tree.2-s3-none-o0"]);
+
+        let a = fs::read(reference.join("points/fleet-h4-x2-tree.2-s3-none-o0.jsonl")).unwrap();
+        let b = fs::read(interrupted.join("points/fleet-h4-x2-tree.2-s3-none-o0.jsonl")).unwrap();
+        assert_eq!(a, b, "resumed fleet artifact must be byte-identical");
         let _ = fs::remove_dir_all(&reference);
         let _ = fs::remove_dir_all(&interrupted);
     }

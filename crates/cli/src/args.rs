@@ -66,6 +66,8 @@ const SWITCHES: &[&str] = &[
     "flight-recorder",
     "fuse-chains",
     "resume",
+    "light",
+    "rebalance",
 ];
 
 /// Value-taking flags the CLI understands. Anything else is a typo the
@@ -92,6 +94,7 @@ const VALUE_FLAGS: &[&str] = &[
     "hosts",
     "shards",
     "fanin",
+    "topology",
     "fabric-us",
     "manifest",
     "out",

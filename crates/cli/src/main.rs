@@ -12,7 +12,7 @@ mod registry;
 
 use args::{parse, ArgError, ParsedArgs};
 use hostcc::experiment::{sweep as sweep_sims, RunPlan};
-use hostcc::fleet::{Fleet, FleetConfig};
+use hostcc::fleet::{Fleet, FleetConfig, FleetTopology};
 use hostcc::report::{f, pct, Table};
 use hostcc::{
     chrome_trace_json, metrics_json, CcKind, FaultKind, RunMetrics, Simulation, TelemetryConfig,
@@ -111,14 +111,26 @@ fn print_help() {
          \u{20}                      breakdown, counters, engine events/sec)\n\
          \n\
          FLEET (fleet command):\n\
-         \u{20}  --hosts N           coupled hosts (default 8)\n\
+         \u{20}  --hosts N           coupled hosts (default 8; 1000 with\n\
+         \u{20}                      --light)\n\
          \u{20}  --shards N          parallel-engine worker threads\n\
          \u{20}                      (default 1; any value gives\n\
          \u{20}                      bit-identical metrics)\n\
-         \u{20}  --fanin N           remote flows terminating per host\n\
-         \u{20}                      from distinct neighbours (default 2)\n\
+         \u{20}  --topology SPEC     who sends to whom: ring:K fan-in ring,\n\
+         \u{20}                      tree:K incast tree, rack:K rack fabric\n\
+         \u{20}                      (default ring:2)\n\
+         \u{20}  --fanin N           shorthand for --topology ring:N\n\
+         \u{20}  --light             scale-out light-host template (small\n\
+         \u{20}                      rings/buffers, telemetry off) — 10k\n\
+         \u{20}                      hosts routinely, 100k as a stretch\n\
+         \u{20}  --rebalance         repartition hosts onto shards by\n\
+         \u{20}                      measured event cost after a probe\n\
+         \u{20}                      slice (results are bit-identical\n\
+         \u{20}                      either way; only wall time changes)\n\
          \u{20}  --fabric-us N       inter-host fabric latency in µs —\n\
          \u{20}                      the engine's lookahead (default 8)\n\
+         \u{20}  --json              fleet summary JSON: per-shard event\n\
+         \u{20}                      loads, imbalance ratio, super-epochs\n\
          \u{20}  (per-host overrides --threads/--senders/etc. shape the\n\
          \u{20}   base template every host derives from)\n\
          \n\
@@ -470,19 +482,40 @@ fn cmd_run(p: &ParsedArgs) -> Result<(), String> {
 }
 
 /// Build a fleet configuration from the fleet command's flags: topology
-/// knobs come from `--hosts/--shards/--fanin/--fabric-us`, the per-host
+/// knobs come from `--hosts/--shards/--fanin/--topology/--fabric-us`
+/// (`--light` swaps in the scale-out light-host template), the per-host
 /// template from the same override flags `run` understands.
 fn fleet_config_from(p: &ParsedArgs) -> Result<FleetConfig, String> {
-    let mut cfg = FleetConfig::coupled_fleet();
+    let mut cfg = if p.switch("light") {
+        let base = FleetConfig::light_fleet(1, 1);
+        FleetConfig {
+            hosts: 1_000,
+            shards: 1,
+            ..base
+        }
+    } else {
+        FleetConfig::coupled_fleet()
+    };
     cfg.hosts = p
         .get_parsed("hosts", cfg.hosts, "integer")
         .map_err(|e| e.to_string())?;
     cfg.shards = p
         .get_parsed("shards", cfg.shards, "integer")
         .map_err(|e| e.to_string())?;
-    cfg.fanin = p
-        .get_parsed("fanin", cfg.fanin, "integer")
-        .map_err(|e| e.to_string())?;
+    let fanin: Option<u32> = p
+        .flags
+        .get("fanin")
+        .map(|v| v.parse().map_err(|_| format!("invalid --fanin '{v}'")))
+        .transpose()?;
+    if let Some(fanin) = fanin {
+        cfg.topology = FleetTopology::FaninRing { fanin };
+    }
+    if let Some(spec) = p.flags.get("topology") {
+        if fanin.is_some() {
+            return Err("--fanin and --topology are mutually exclusive".to_string());
+        }
+        cfg.topology = FleetTopology::parse(spec)?;
+    }
     let fabric_us: u64 = p
         .get_parsed("fabric-us", 8, "integer (µs)")
         .map_err(|e| e.to_string())?;
@@ -501,7 +534,28 @@ fn cmd_fleet(p: &ParsedArgs) -> Result<(), String> {
     let cfg = fleet_config_from(p)?;
     let plan = plan_from(p).map_err(|e| e.to_string())?;
     let mut fleet = Fleet::new(&cfg).map_err(|e| e.to_string())?;
+    if p.switch("rebalance") {
+        // Probe briefly under round-robin so per-host dispatch counters
+        // carry real load, then bin-pack hosts onto shards by measured
+        // cost. Placement is unobservable, so results are bit-identical
+        // with or without this switch (the probe slice is always run, so
+        // the epoch grid — which *is* slice-schedule-dependent — matches
+        // too).
+        fleet
+            .run_to(fleet.now() + SimDuration::from_micros(300))
+            .map_err(|e| e.to_string())?;
+        fleet.rebalance();
+    } else {
+        // Identical slice schedule whether or not we rebalance.
+        fleet
+            .run_to(fleet.now() + SimDuration::from_micros(300))
+            .map_err(|e| e.to_string())?;
+    }
     let per_host = fleet.run(plan).map_err(|e| e.to_string())?;
+    if p.switch("json") {
+        println!("{}", fleet_json(&cfg, &fleet, &per_host));
+        return Ok(());
+    }
     let rows: Vec<(String, &RunMetrics)> = per_host
         .iter()
         .enumerate()
@@ -514,14 +568,54 @@ fn cmd_fleet(p: &ParsedArgs) -> Result<(), String> {
         println!("{}", t.render());
         let total_gbps: f64 = per_host.iter().map(|m| m.app_throughput_gbps()).sum();
         println!(
-            "fleet: {} hosts, {} shards, {} epochs, {:.1} Gbps aggregate",
+            "fleet: {} hosts ({}), {} shards, {} epochs ({} super), imbalance {:.3}, {:.1} Gbps aggregate",
             cfg.hosts,
+            cfg.topology,
             fleet.shards(),
             fleet.epochs(),
+            fleet.super_epochs(),
+            fleet.imbalance_ratio(),
             total_gbps
         );
     }
     Ok(())
+}
+
+/// Machine-readable fleet summary: topology, engine/shard load stats
+/// (events per shard, imbalance, super-epochs), and a compact per-host
+/// metrics array. The single-host `run --json` export stays untouched —
+/// this is the fleet-level analogue of its `engine` block.
+fn fleet_json(cfg: &FleetConfig, fleet: &Fleet, per_host: &[RunMetrics]) -> String {
+    let mut w = hostcc_trace::json::JsonWriter::new();
+    w.begin_obj();
+    w.key("hosts").int(cfg.hosts as u64);
+    w.key("topology").str(&cfg.topology.to_string());
+    w.key("aggregate_gbps")
+        .num(per_host.iter().map(|m| m.app_throughput_gbps()).sum());
+    w.key("engine").begin_obj();
+    w.key("shards").int(fleet.shards() as u64);
+    w.key("epochs").int(fleet.epochs());
+    w.key("super_epochs").int(fleet.super_epochs());
+    w.key("dispatched_events").int(fleet.dispatched_total());
+    w.key("events_per_shard").begin_arr();
+    for events in fleet.shard_event_totals() {
+        w.int(events);
+    }
+    w.end_arr();
+    w.key("imbalance_ratio").num(fleet.imbalance_ratio());
+    w.end_obj();
+    w.key("per_host").begin_arr();
+    for m in per_host {
+        w.begin_obj();
+        w.key("delivered_packets").int(m.delivered_packets);
+        w.key("app_throughput_gbps").num(m.app_throughput_gbps());
+        w.key("drop_rate").num(m.drop_rate());
+        w.key("host_delay_p99_us").num(m.host_delay_p99_us());
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
 }
 
 /// Parse `A..B` (inclusive) range syntax.
@@ -777,13 +871,52 @@ mod tests {
         let cfg = fleet_config_from(&p).unwrap();
         assert_eq!(cfg.hosts, 4);
         assert_eq!(cfg.shards, 2);
-        assert_eq!(cfg.fanin, 1);
+        assert_eq!(cfg.topology, FleetTopology::FaninRing { fanin: 1 });
         assert_eq!(cfg.fabric_latency, SimDuration::from_micros(12));
         assert_eq!(cfg.seed, 77);
         // --threads shapes the per-host template; --seed stays at the
         // fleet level (per-host seeds derive from it).
         assert_eq!(cfg.base.receiver_threads, 3);
         assert_ne!(cfg.host_config(0).seed, 77);
+    }
+
+    #[test]
+    fn fleet_topology_and_light_flags_build_config() {
+        let p = parse(
+            "fleet --light --hosts 64 --shards 4 --topology rack:8"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let cfg = fleet_config_from(&p).unwrap();
+        assert_eq!(cfg.hosts, 64);
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(
+            cfg.topology,
+            FleetTopology::RackFabric { hosts_per_rack: 8 }
+        );
+        // The light template shrinks the per-host population.
+        assert_eq!(cfg.base.senders, 2);
+        assert_eq!(cfg.base.receiver_threads, 1);
+
+        // --fanin and --topology cannot both be given.
+        let p = parse(
+            "fleet --fanin 2 --topology tree:4"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let e = fleet_config_from(&p).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+
+        // Bad topology specs are CLI errors, not panics.
+        let p = parse(
+            "fleet --topology mesh:3"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(fleet_config_from(&p).unwrap_err().contains("topology"));
     }
 
     #[test]
@@ -796,6 +929,24 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.contains("fanin"), "{e}");
+        // Satellite validation: shards outside 1..=hosts is a typed
+        // ConfigError surfaced on the `error:` + exit 2 path.
+        let e = dispatch(
+            "fleet --hosts 2 --shards 4 --quick"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .unwrap_err();
+        assert!(e.contains("shards"), "{e}");
+        let e = dispatch(
+            "fleet --hosts 2 --shards 0 --quick"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .unwrap_err();
+        assert!(e.contains("shards"), "{e}");
     }
 
     #[test]

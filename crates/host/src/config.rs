@@ -382,6 +382,33 @@ impl TestbedConfig {
         self.access_link_bps * self.wire.goodput_efficiency()
     }
 
+    /// A light-weight host profile for 10k–100k-member fleets: the same
+    /// datapath (NIC → PCIe → IOMMU → memory) but the smallest
+    /// population that still exercises it — 2 senders on 1 receiver
+    /// thread, no antagonists, a 1 MiB Rx region with a 256-entry ring,
+    /// and telemetry off. A light host carries ~1/200th of the default
+    /// incast's flow count, which is what makes five-digit fleets fit in
+    /// CI memory; it is a *different simulation* (different digests),
+    /// not an approximation of the default host.
+    pub fn light(seed: u64) -> Self {
+        TestbedConfig {
+            seed,
+            senders: 2,
+            receiver_threads: 1,
+            antagonist_cores: 0,
+            rx_region_bytes: 1 << 20,
+            ack_pool_pages: 2,
+            ring_hot_pages: 1,
+            cq_hot_pages: 1,
+            nic: NicConfig {
+                ring_entries: 256,
+                ..NicConfig::default()
+            },
+            telemetry: TelemetryConfig::disabled(),
+            ..TestbedConfig::default()
+        }
+    }
+
     /// Check the knobs a caller most plausibly gets wrong (zero
     /// populations, non-positive rates, out-of-range fractions) before
     /// building a testbed from them. Returns the first violation found.

@@ -75,6 +75,30 @@ impl ShardHost for FleetHost {
         self.sim.peek_time()
     }
 
+    fn next_send_time(&self) -> Option<SimTime> {
+        if self.stalled.is_some() {
+            return None;
+        }
+        // An uncoupled host (no fabric, or no remote flows wired) can
+        // never emit an envelope — withdrawing it from the epoch bound
+        // lets the engine batch lookahead windows into super-epochs.
+        // A coupled host promises nothing beyond its next event: any
+        // dispatched event may push a packet into the fabric outbox, and
+        // a wrong promise here would silently break bit-identity. The
+        // coupling answer is fixed at wiring time, so this is a pure
+        // function of host state (it cannot flip mid-run and perturb
+        // the deterministic epoch grid).
+        if self.sim.world().coupled() {
+            self.sim.peek_time()
+        } else {
+            None
+        }
+    }
+
+    fn dispatched(&self) -> u64 {
+        self.sim.dispatched_total()
+    }
+
     fn advance_to(&mut self, deadline: SimTime) {
         if self.stalled.is_some() {
             return;

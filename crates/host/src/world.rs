@@ -811,6 +811,15 @@ impl Testbed {
         self.flows.len() as u32
     }
 
+    /// Whether this testbed can ever emit a fabric envelope: it is
+    /// attached to the fabric *and* has at least one remote flow wired.
+    /// The fleet layer uses this to withdraw send-free hosts from the
+    /// parallel engine's epoch bound (super-epoch batching) — the answer
+    /// is fixed once `start` runs, so it is a sound promise.
+    pub fn coupled(&self) -> bool {
+        self.fabric.is_some() && !self.remote.is_empty()
+    }
+
     /// Allocate the receiver half of a cross-host flow terminating on
     /// local thread `thread`: a receiver flow + RPC read channel behind a
     /// placeholder sender slot. ACKs return across the fabric to

@@ -1,11 +1,10 @@
 //! Conservative parallel discrete-event execution across shards.
 //!
 //! A [`ParallelEngine`] drives N independent hosts — each with its own
-//! event queue, clock and RNG streams — on S worker threads ("shards",
-//! hosts are assigned round-robin: host `i` runs on shard `i % S`). Hosts
-//! interact only through messages with a minimum delivery latency, the
-//! **lookahead** `L`: a message emitted while a host executes events at
-//! time `t` may not fire before `t + L`. That bound is exactly what a
+//! event queue, clock and RNG streams — on S worker threads ("shards").
+//! Hosts interact only through messages with a minimum delivery latency,
+//! the **lookahead** `L`: a message emitted while a host executes events
+//! at time `t` may not fire before `t + L`. That bound is exactly what a
 //! conservative ("null-message-free", SimBricks-style) synchronisation
 //! scheme needs:
 //!
@@ -17,10 +16,10 @@
 //! 3. Exchange the emitted messages through per-shard-pair mailboxes,
 //!    barrier, and repeat.
 //!
-//! # Determinism: thread count is unobservable
+//! # Determinism: thread count AND placement are unobservable
 //!
-//! Two properties make the result bit-identical at any shard count,
-//! including 1:
+//! Three properties make the result bit-identical at any shard count
+//! (including 1) and under any host→shard assignment:
 //!
 //! * **Epoch boundaries are global.** `epoch_end` is computed from the
 //!   minimum over *all* hosts, so the sequence of epochs is a pure
@@ -37,6 +36,37 @@
 //!   (each source host numbers its own envelopes), so the per-host
 //!   delivery sequence is a total order independent of thread
 //!   interleaving.
+//! * **Placement never feeds the simulation.** The host→shard map (see
+//!   [`set_placement`](ParallelEngine::set_placement)) decides only
+//!   which worker drives which host and which mailbox an envelope rides
+//!   in; host seeds, epoch boundaries and merge keys are all derived
+//!   from global host ids. Measured-cost rebalancing can therefore move
+//!   hosts freely between runs without perturbing a single digest.
+//!
+//! # Super-epochs: amortizing the barrier on sparse traffic
+//!
+//! The classic window `g + L` assumes every pending event could emit a
+//! message. Hosts that know better can promise more through
+//! [`next_send_time`](ShardHost::next_send_time): a lower bound on the
+//! time of the earliest event that could emit an envelope (`None` =
+//! never, e.g. a host with no remote flows). With `s` the global minimum
+//! of those bounds, every message in the epoch fires at `>= s + L`, so
+//! the engine may run a **super-epoch** to `max(g, s) + L` — batching
+//! what would have been many lookahead windows into one barrier round.
+//! The bound is a pure function of global simulation state, so the epoch
+//! grid (and with it every digest) stays shard-count- and
+//! placement-invariant. The default hook returns `next_event_time()`,
+//! which degenerates to the classic window.
+//!
+//! # Tree barrier
+//!
+//! Workers synchronise on a static combining tree ([`TreeBarrier`],
+//! arity 4) rather than a single atomic counter: arrivals propagate
+//! leaf→root in O(log S) hops of uncontended counters, and the root
+//! releases everyone by bumping one generation word. At fleet scale the
+//! flat barrier's S-way fetch-add line transfer per phase is what the
+//! profile shows first; the tree keeps each cache line shared by at most
+//! `ARITY` writers.
 //!
 //! Mailboxes are `Mutex<Vec<_>>`, but each `(src, dst)` box is written
 //! only by `src`'s worker in the send phase and drained only by `dst`'s
@@ -83,6 +113,27 @@ pub trait ShardHost: Send {
     /// happens before the engine reads this.
     fn next_event_time(&self) -> Option<SimTime>;
 
+    /// A lower bound on the time of the earliest pending event that
+    /// could emit an envelope; `None` when this host can never send
+    /// (e.g. no remote flows are wired). The engine uses the global
+    /// minimum of these bounds to extend epochs past one lookahead
+    /// window (super-epochs), so the bound must be *sound*: no event
+    /// executing before it may call out. It must also be a pure
+    /// function of host state — it feeds the epoch grid, which is part
+    /// of the deterministic schedule. The default is the conservative
+    /// `next_event_time()` (any event could send).
+    fn next_send_time(&self) -> Option<SimTime> {
+        self.next_event_time()
+    }
+
+    /// Events this host has dispatched over its lifetime — the measured
+    /// cost that drives [`balanced_placement`]. Purely observational
+    /// (never feeds the schedule); hosts that don't track it may keep
+    /// the default 0, which degrades rebalancing to host-count packing.
+    fn dispatched(&self) -> u64 {
+        0
+    }
+
     /// Run all events with `t <= deadline` and leave the local clock at
     /// exactly `deadline`. Called repeatedly with non-decreasing
     /// deadlines; a call that processes nothing must still advance the
@@ -104,43 +155,133 @@ pub trait ShardHost: Send {
 /// shard writes, indexed by destination shard.
 type MailRow<M> = Vec<Mutex<Vec<Envelope<M>>>>;
 
-/// A sense-reversing spin barrier built from atomics (`forbid(unsafe_code)`
-/// friendly). Spins briefly, then yields — so S worker threads still make
-/// progress on hosts with fewer cores, just without speedup.
-struct SpinBarrier {
-    n: usize,
-    arrived: AtomicUsize,
+/// Fan-in of the combining tree: how many children feed one barrier
+/// node. 4 keeps the tree shallow (S=64 → 3 levels) while bounding the
+/// writers per counter cache line.
+const BARRIER_ARITY: usize = 4;
+
+/// A sense-reversing combining-tree barrier built from atomics
+/// (`forbid(unsafe_code)` friendly). Arrivals climb a static arity-4
+/// tree — the last arrival at each node resets that node's counter and
+/// propagates one arrival to its parent, so the longest chain of
+/// contended fetch-adds is O(log S), not O(S). The root's last arrival
+/// bumps a generation word that every waiter spins on (briefly, then
+/// yielding — so S workers still make progress on machines with fewer
+/// cores, just without speedup).
+struct TreeBarrier {
+    /// Per-node `(arrived, expected)`; node 0's children are the first
+    /// `expected[0]` participants, and `parent[i]` indexes upward. Nodes
+    /// are stored level by level, leaves first.
+    arrived: Vec<AtomicUsize>,
+    expected: Vec<usize>,
+    parent: Vec<Option<usize>>,
+    /// Leaf node index for each participant.
+    leaf_of: Vec<usize>,
     generation: AtomicU64,
 }
 
-impl SpinBarrier {
+impl TreeBarrier {
     fn new(n: usize) -> Self {
-        SpinBarrier {
-            n,
-            arrived: AtomicUsize::new(0),
+        let n = n.max(1);
+        // Build the tree level by level: level 0 groups participants
+        // into ceil(n/ARITY) leaves, each subsequent level groups the
+        // previous level's nodes, until one root remains.
+        let mut expected = Vec::new();
+        let mut parent = Vec::new();
+        let mut leaf_of = Vec::with_capacity(n);
+        for i in 0..n {
+            leaf_of.push(i / BARRIER_ARITY);
+        }
+        let mut level_start = 0usize;
+        let mut level_width = n.div_ceil(BARRIER_ARITY);
+        let mut members = n; // children feeding the current level
+        loop {
+            for node in 0..level_width {
+                let lo = node * BARRIER_ARITY;
+                let hi = ((node + 1) * BARRIER_ARITY).min(members);
+                expected.push(hi - lo);
+                parent.push(None); // patched below once the next level exists
+            }
+            if level_width == 1 {
+                break;
+            }
+            let next_start = level_start + level_width;
+            for node in 0..level_width {
+                parent[level_start + node] = Some(next_start + node / BARRIER_ARITY);
+            }
+            members = level_width;
+            level_start = next_start;
+            level_width = level_width.div_ceil(BARRIER_ARITY);
+        }
+        let arrived = (0..expected.len()).map(|_| AtomicUsize::new(0)).collect();
+        TreeBarrier {
+            arrived,
+            expected,
+            parent,
+            leaf_of,
             generation: AtomicU64::new(0),
         }
     }
 
-    fn wait(&self) {
-        let gen = self.generation.load(Ordering::SeqCst);
-        if self.arrived.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
-            // Last arrival: reset the counter for the next use, then
-            // release everyone by bumping the generation.
-            self.arrived.store(0, Ordering::SeqCst);
-            self.generation.fetch_add(1, Ordering::SeqCst);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::SeqCst) == gen {
-                spins = spins.wrapping_add(1);
-                if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
+    /// Arrive at `node`; the last arrival resets the counter (safe: no
+    /// participant can re-enter until the generation bump, which happens
+    /// after every reset on the propagation path) and climbs.
+    fn arrive(&self, mut node: usize) {
+        loop {
+            if self.arrived[node].fetch_add(1, Ordering::SeqCst) + 1 < self.expected[node] {
+                return;
+            }
+            self.arrived[node].store(0, Ordering::SeqCst);
+            match self.parent[node] {
+                Some(p) => node = p,
+                None => {
+                    self.generation.fetch_add(1, Ordering::SeqCst);
+                    return;
                 }
             }
         }
     }
+
+    fn wait(&self, me: usize) {
+        let gen = self.generation.load(Ordering::SeqCst);
+        self.arrive(self.leaf_of[me]);
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::SeqCst) == gen {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Greedy longest-processing-time bin packing of per-host costs onto
+/// `shards` bins: hosts in descending cost order (host id breaks ties)
+/// each go to the currently lightest shard (lowest index breaks ties).
+/// Returns the host→shard map. Each host weighs at least 1, so
+/// zero-cost hosts (nothing measured yet) still spread by count rather
+/// than piling onto one shard. Deterministic — and because placement is
+/// unobservable, any output is digest-preserving.
+pub fn balanced_placement(costs: &[u64], shards: usize) -> Vec<u32> {
+    let shards = shards.max(1);
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&h| (std::cmp::Reverse(costs[h]), h));
+    let mut load = vec![0u128; shards];
+    let mut placement = vec![0u32; costs.len()];
+    for h in order {
+        let s = (0..shards).min_by_key(|&s| (load[s], s)).unwrap_or(0);
+        load[s] += (costs[h].max(1)) as u128;
+        placement[h] = s as u32;
+    }
+    placement
+}
+
+/// Round-robin host→shard map: host `i` on shard `i % shards`.
+pub fn round_robin_placement(hosts: usize, shards: usize) -> Vec<u32> {
+    let shards = shards.max(1);
+    (0..hosts).map(|i| (i % shards) as u32).collect()
 }
 
 /// Drives a set of [`ShardHost`]s deterministically across worker threads.
@@ -148,18 +289,29 @@ pub struct ParallelEngine<H: ShardHost> {
     hosts: Vec<H>,
     shards: usize,
     lookahead: SimDuration,
+    /// Host→shard assignment (len == hosts, values < shards). Purely an
+    /// execution concern: results are bit-identical under any map.
+    placement: Vec<u32>,
     epochs: u64,
+    super_epochs: u64,
+    amortize: bool,
 }
 
 impl<H: ShardHost> ParallelEngine<H> {
     /// Build an engine over `hosts`, running on `shards` worker threads
-    /// (clamped to at least 1), with the given lookahead.
+    /// (clamped to at least 1), with the given lookahead and round-robin
+    /// placement.
     pub fn new(hosts: Vec<H>, shards: usize, lookahead: SimDuration) -> Self {
+        let shards = shards.max(1);
+        let placement = round_robin_placement(hosts.len(), shards);
         ParallelEngine {
             hosts,
-            shards: shards.max(1),
+            shards,
             lookahead,
+            placement,
             epochs: 0,
+            super_epochs: 0,
+            amortize: true,
         }
     }
 
@@ -183,18 +335,93 @@ impl<H: ShardHost> ParallelEngine<H> {
         self.lookahead
     }
 
+    /// The current host→shard assignment.
+    pub fn placement(&self) -> &[u32] {
+        &self.placement
+    }
+
+    /// Install a host→shard assignment (between `run_to` slices only —
+    /// mid-epoch there is no safe hand-off point). Panics when the map
+    /// is malformed: this is an engine-internal contract; callers with
+    /// user-facing config validate before reaching here.
+    pub fn set_placement(&mut self, placement: Vec<u32>) {
+        assert_eq!(
+            placement.len(),
+            self.hosts.len(),
+            "placement must cover every host"
+        );
+        assert!(
+            placement.iter().all(|&s| (s as usize) < self.shards),
+            "placement shard out of range"
+        );
+        self.placement = placement;
+    }
+
+    /// Per-host lifetime dispatched-event counts — the measured costs
+    /// that feed [`balanced_placement`].
+    pub fn host_costs(&self) -> Vec<u64> {
+        self.hosts.iter().map(|h| h.dispatched()).collect()
+    }
+
+    /// Repartition hosts onto shards by measured cost (greedy LPT over
+    /// [`host_costs`](Self::host_costs)). Returns the new placement.
+    /// Observationally a no-op: digests do not depend on placement.
+    pub fn rebalance(&mut self) -> &[u32] {
+        let placement = balanced_placement(&self.host_costs(), self.shards);
+        self.placement = placement;
+        &self.placement
+    }
+
+    /// Lifetime dispatched events summed per shard under the current
+    /// placement — the load-balance report the bench gates on.
+    pub fn shard_event_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.shards];
+        for (h, host) in self.hosts.iter().enumerate() {
+            totals[self.placement[h] as usize] += host.dispatched();
+        }
+        totals
+    }
+
     /// Epochs executed so far (across all `run_to` calls). An epoch is
     /// one advance-exchange-barrier round; the count is identical at any
-    /// shard count, which the differential tests exploit.
+    /// shard count and placement, which the differential tests exploit.
     pub fn epochs(&self) -> u64 {
         self.epochs
     }
 
-    /// Overwrite the lifetime epoch counter. Checkpoint restore only:
-    /// the counter is part of the observable run record, so a resumed
-    /// fleet must report the same total as an uninterrupted one.
+    /// Epochs that batched more than one lookahead window (see the
+    /// module docs on super-epochs). Shard-count- and
+    /// placement-invariant, like `epochs`.
+    pub fn super_epochs(&self) -> u64 {
+        self.super_epochs
+    }
+
+    /// Overwrite the lifetime epoch counters. Checkpoint restore only:
+    /// the counters are part of the observable run record, so a resumed
+    /// fleet must report the same totals as an uninterrupted one.
     pub fn set_epochs(&mut self, epochs: u64) {
         self.epochs = epochs;
+    }
+
+    /// Companion to [`set_epochs`](Self::set_epochs) for the
+    /// super-epoch counter.
+    pub fn set_super_epochs(&mut self, super_epochs: u64) {
+        self.super_epochs = super_epochs;
+    }
+
+    /// Enable or disable super-epoch batching. **This changes the epoch
+    /// grid**, which is observable where cross-host envelopes interleave
+    /// with same-timestamp local events — treat it like any other
+    /// simulation parameter (the fleet layer folds it into config
+    /// fingerprints). It does NOT affect shard/placement invariance:
+    /// with either setting the grid is a pure function of global state.
+    pub fn set_amortization(&mut self, on: bool) {
+        self.amortize = on;
+    }
+
+    /// Whether super-epoch batching is enabled.
+    pub fn amortization(&self) -> bool {
+        self.amortize
     }
 
     /// Advance every host to exactly `deadline` (inclusive), running
@@ -207,22 +434,34 @@ impl<H: ShardHost> ParallelEngine<H> {
         let lookahead_ns = self.lookahead.as_nanos();
         let deadline_ns = deadline.as_nanos();
         let n_hosts = self.hosts.len();
-        // Per-shard minimum next-event time slots (u64::MAX = idle).
+        let amortize = self.amortize;
+        let placement: &[u32] = &self.placement;
+        // Slot of each host within its shard's bucket (hosts are
+        // bucketed in ascending id order, so the slot is the number of
+        // lower-id hosts sharing the shard).
+        let mut slot_of: Vec<usize> = vec![0; n_hosts];
+        let mut counts = vec![0usize; shards];
+        for (h, &s) in placement.iter().enumerate() {
+            slot_of[h] = counts[s as usize];
+            counts[s as usize] += 1;
+        }
+        // Per-shard minimum next-event / next-send time slots
+        // (u64::MAX = idle / never sends).
         let mins: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let send_mins: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect();
         // Per-(src,dst) shard mailboxes. Never contended: src writes in
         // the send phase, dst drains in the delivery phase, a barrier
         // sits between them.
         let boxes: Vec<MailRow<H::Msg>> = (0..shards)
             .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
             .collect();
-        let barrier = SpinBarrier::new(shards);
+        let barrier = TreeBarrier::new(shards);
         let epochs = AtomicU64::new(0);
+        let super_epochs = AtomicU64::new(0);
 
-        // Round-robin host partition: shard s owns hosts s, s+S, s+2S, …
-        // (so a host's shard is `id % S` and its slot is `id / S`).
         let mut buckets: Vec<Vec<&mut H>> = (0..shards).map(|_| Vec::new()).collect();
         for (id, host) in self.hosts.iter_mut().enumerate() {
-            buckets[id % shards].push(host);
+            buckets[placement[id] as usize].push(host);
         }
 
         std::thread::scope(|scope| {
@@ -230,19 +469,25 @@ impl<H: ShardHost> ParallelEngine<H> {
                 .into_iter()
                 .enumerate()
                 .map(|(me, bucket)| {
-                    let ctx = (&mins, &boxes, &barrier, &epochs);
+                    let shared = SharedEpochState {
+                        mins: &mins,
+                        send_mins: &send_mins,
+                        boxes: &boxes,
+                        barrier: &barrier,
+                        epochs: &epochs,
+                        super_epochs: &super_epochs,
+                        placement,
+                        slot_of: &slot_of,
+                    };
                     move || {
                         drive_shard::<H>(
                             me,
-                            shards,
                             bucket,
                             n_hosts,
                             lookahead_ns,
                             deadline_ns,
-                            ctx.0,
-                            ctx.1,
-                            ctx.2,
-                            ctx.3,
+                            amortize,
+                            shared,
                         )
                     }
                 })
@@ -255,32 +500,41 @@ impl<H: ShardHost> ParallelEngine<H> {
             shard0();
         });
         self.epochs += epochs.load(Ordering::SeqCst);
+        self.super_epochs += super_epochs.load(Ordering::SeqCst);
     }
+}
+
+/// The read-only state every worker shares during `run_to`.
+struct SharedEpochState<'a, M> {
+    mins: &'a [AtomicU64],
+    send_mins: &'a [AtomicU64],
+    boxes: &'a [MailRow<M>],
+    barrier: &'a TreeBarrier,
+    epochs: &'a AtomicU64,
+    super_epochs: &'a AtomicU64,
+    placement: &'a [u32],
+    slot_of: &'a [usize],
 }
 
 /// The per-shard worker loop. Every worker executes the same epoch
 /// decisions (global minimum, epoch end, termination) redundantly from
-/// the shared `mins` slots — identical integer math on identical inputs,
-/// so no coordinator thread is needed.
-#[allow(clippy::too_many_arguments)]
+/// the shared `mins`/`send_mins` slots — identical integer math on
+/// identical inputs, so no coordinator thread is needed.
 fn drive_shard<H: ShardHost>(
     me: usize,
-    shards: usize,
     mut hosts: Vec<&mut H>,
     n_hosts: usize,
     lookahead_ns: u64,
     deadline_ns: u64,
-    mins: &[AtomicU64],
-    boxes: &[MailRow<H::Msg>],
-    barrier: &SpinBarrier,
-    epochs: &AtomicU64,
+    amortize: bool,
+    shared: SharedEpochState<'_, H::Msg>,
 ) {
     let mut inbound: Vec<Envelope<H::Msg>> = Vec::new();
     let mut outbound: Vec<Envelope<H::Msg>> = Vec::new();
     loop {
         // Delivery phase: drain every mailbox addressed to this shard,
         // merge deterministically, inject into the destination hosts.
-        for src_boxes in boxes {
+        for src_boxes in shared.boxes {
             let mut mb = src_boxes[me].lock().expect("mailbox poisoned");
             inbound.append(&mut mb);
         }
@@ -291,22 +545,31 @@ fn drive_shard<H: ShardHost>(
         for env in inbound.drain(..) {
             let dst = env.dst_host as usize;
             debug_assert!(dst < n_hosts, "envelope to unknown host {dst}");
-            debug_assert_eq!(dst % shards, me, "envelope routed to wrong shard");
-            hosts[dst / shards].deliver(env);
+            debug_assert_eq!(
+                shared.placement[dst] as usize, me,
+                "envelope routed to wrong shard"
+            );
+            hosts[shared.slot_of[dst]].deliver(env);
         }
-        // Publish this shard's minimum next-event time (inclusive of the
-        // envelopes just delivered).
+        // Publish this shard's minimum next-event and next-send times
+        // (inclusive of the envelopes just delivered).
         let mut local_min = u64::MAX;
+        let mut local_send = u64::MAX;
         for h in hosts.iter() {
             if let Some(t) = h.next_event_time() {
                 local_min = local_min.min(t.as_nanos());
             }
+            if let Some(t) = h.next_send_time() {
+                local_send = local_send.min(t.as_nanos());
+            }
         }
-        mins[me].store(local_min, Ordering::SeqCst);
-        barrier.wait();
+        shared.mins[me].store(local_min, Ordering::SeqCst);
+        shared.send_mins[me].store(local_send, Ordering::SeqCst);
+        shared.barrier.wait(me);
 
         // Epoch phase: every worker derives the same global minimum.
-        let gmin = mins
+        let gmin = shared
+            .mins
             .iter()
             .map(|m| m.load(Ordering::SeqCst))
             .min()
@@ -321,29 +584,51 @@ fn drive_shard<H: ShardHost>(
             }
             break;
         }
-        let epoch_end = gmin.saturating_add(lookahead_ns).min(deadline_ns);
+        // The classic conservative window ends at gmin + L. When every
+        // host's earliest *possible* send is later than gmin, the next
+        // message anywhere fires at >= smin + L, so the window may
+        // stretch there — a super-epoch covering (smin - gmin) / L
+        // extra lookahead windows with a single barrier round.
+        let classic_end = gmin.saturating_add(lookahead_ns).min(deadline_ns);
+        let epoch_end = if amortize {
+            let smin = shared
+                .send_mins
+                .iter()
+                .map(|m| m.load(Ordering::SeqCst))
+                .min()
+                .unwrap_or(u64::MAX);
+            // smin < gmin would mean a host promises sends before its
+            // own earliest event; harmless (no event can execute before
+            // gmin), but the window must never shrink below classic.
+            smin.max(gmin).saturating_add(lookahead_ns).min(deadline_ns)
+        } else {
+            classic_end
+        };
         for h in hosts.iter_mut() {
             h.advance_to(SimTime::from_nanos(epoch_end));
             h.take_outbound(&mut outbound);
         }
         for env in outbound.drain(..) {
             debug_assert!(
-                env.fire.as_nanos() >= gmin.saturating_add(lookahead_ns),
+                env.fire.as_nanos() >= epoch_end || env.fire.as_nanos() >= deadline_ns,
                 "lookahead violated: envelope fires at {} inside epoch ending {}",
                 env.fire.as_nanos(),
                 epoch_end,
             );
-            let dst_shard = env.dst_host as usize % shards;
-            boxes[me][dst_shard]
+            let dst_shard = shared.placement[env.dst_host as usize] as usize;
+            shared.boxes[me][dst_shard]
                 .lock()
                 .expect("mailbox poisoned")
                 .push(env);
         }
         if me == 0 {
-            epochs.fetch_add(1, Ordering::SeqCst);
+            shared.epochs.fetch_add(1, Ordering::SeqCst);
+            if epoch_end > classic_end {
+                shared.super_epochs.fetch_add(1, Ordering::SeqCst);
+            }
         }
         // Close the epoch: all sends land before anyone drains again.
-        barrier.wait();
+        shared.barrier.wait(me);
     }
 }
 
@@ -364,6 +649,10 @@ mod tests {
         queue: BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>>,
         arrivals: u64,
         seq: u64,
+        dispatched: u64,
+        /// When false, this host never emits (its `next_send_time` is
+        /// `None`) — the super-epoch test's "uncoupled" mode.
+        can_send: bool,
         out: Vec<Envelope<u32>>,
         log: Vec<(u64, u32)>,
     }
@@ -377,6 +666,8 @@ mod tests {
                 queue: BinaryHeap::new(),
                 arrivals: 0,
                 seq: 0,
+                dispatched: 0,
+                can_send: true,
                 out: Vec::new(),
                 log: Vec::new(),
             }
@@ -398,6 +689,18 @@ mod tests {
                 .map(|std::cmp::Reverse((t, _, _))| SimTime::from_nanos(*t))
         }
 
+        fn next_send_time(&self) -> Option<SimTime> {
+            if self.can_send {
+                self.next_event_time()
+            } else {
+                None
+            }
+        }
+
+        fn dispatched(&self) -> u64 {
+            self.dispatched
+        }
+
         fn advance_to(&mut self, deadline: SimTime) {
             let deadline = deadline.as_nanos();
             while let Some(std::cmp::Reverse((t, _, hops))) = self.queue.peek().copied() {
@@ -406,8 +709,10 @@ mod tests {
                 }
                 self.queue.pop();
                 self.now = t;
+                self.dispatched += 1;
                 self.log.push((t, hops));
                 if hops > 0 {
+                    assert!(self.can_send, "sendless host emitted");
                     let seq = self.seq;
                     self.seq += 1;
                     self.out.push(Envelope {
@@ -431,13 +736,18 @@ mod tests {
         }
     }
 
-    fn ring_run(n_hosts: u32, shards: usize, deadline: u64) -> (Vec<Vec<(u64, u32)>>, u64) {
+    fn seeded_hosts(n_hosts: u32) -> Vec<Toy> {
         let mut hosts: Vec<Toy> = (0..n_hosts).map(|i| Toy::new(i, n_hosts)).collect();
         // Every host starts a token with a distinct phase and hop count.
         for (i, h) in hosts.iter_mut().enumerate() {
             h.schedule(7 * (i as u64 + 1), 20 + i as u32);
         }
-        let mut eng = ParallelEngine::new(hosts, shards, SimDuration::from_nanos(LAT));
+        hosts
+    }
+
+    fn ring_run(n_hosts: u32, shards: usize, deadline: u64) -> (Vec<Vec<(u64, u32)>>, u64) {
+        let mut eng =
+            ParallelEngine::new(seeded_hosts(n_hosts), shards, SimDuration::from_nanos(LAT));
         eng.run_to(SimTime::from_nanos(deadline));
         let logs = eng.hosts().iter().map(|h| h.log.clone()).collect();
         (logs, eng.epochs())
@@ -454,6 +764,132 @@ mod tests {
             let (logs, epochs) = ring_run(5, shards, 60_000);
             assert_eq!(logs, reference, "shards={shards}");
             assert_eq!(epochs, ref_epochs, "epoch count at shards={shards}");
+        }
+    }
+
+    #[test]
+    fn placement_is_unobservable() {
+        let (reference, ref_epochs) = ring_run(5, 2, 60_000);
+        // Reversed placement: host i on shard (n-1-i) % 2.
+        let mut eng = ParallelEngine::new(seeded_hosts(5), 2, SimDuration::from_nanos(LAT));
+        eng.set_placement(vec![1, 0, 1, 0, 1]);
+        eng.run_to(SimTime::from_nanos(60_000));
+        let logs: Vec<_> = eng.hosts().iter().map(|h| h.log.clone()).collect();
+        assert_eq!(logs, reference, "reversed placement");
+        assert_eq!(eng.epochs(), ref_epochs);
+        // Skewed placement: everything on shard 1 except host 0.
+        let mut eng = ParallelEngine::new(seeded_hosts(5), 2, SimDuration::from_nanos(LAT));
+        eng.set_placement(vec![0, 1, 1, 1, 1]);
+        eng.run_to(SimTime::from_nanos(60_000));
+        let logs: Vec<_> = eng.hosts().iter().map(|h| h.log.clone()).collect();
+        assert_eq!(logs, reference, "skewed placement");
+        assert_eq!(eng.epochs(), ref_epochs);
+    }
+
+    #[test]
+    fn rebalance_moves_hosts_and_preserves_results() {
+        let (reference, _) = ring_run(5, 2, 60_000);
+        let mut eng = ParallelEngine::new(seeded_hosts(5), 2, SimDuration::from_nanos(LAT));
+        // Run half, rebalance on measured cost, run the rest.
+        eng.run_to(SimTime::from_nanos(30_000));
+        let placement = eng.rebalance().to_vec();
+        assert_eq!(placement.len(), 5);
+        eng.run_to(SimTime::from_nanos(60_000));
+        let logs: Vec<_> = eng.hosts().iter().map(|h| h.log.clone()).collect();
+        assert_eq!(logs, reference, "mid-run rebalance must be unobservable");
+        // The shard totals cover every dispatched event.
+        let totals = eng.shard_event_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(
+            totals.iter().sum::<u64>(),
+            eng.host_costs().iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn balanced_placement_packs_greedily() {
+        // Costs 10, 1, 1, 1, 9 on 2 shards: LPT seeds 10 and 9 on
+        // opposite shards and spreads the units, landing 11 vs 10 —
+        // within a unit cost of perfect.
+        let costs = [10u64, 1, 1, 1, 9];
+        let p = balanced_placement(&costs, 2);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[4], 1);
+        let mut load = [0u64; 2];
+        for (h, &s) in p.iter().enumerate() {
+            load[s as usize] += costs[h];
+        }
+        assert!(load.iter().max().unwrap() - load.iter().min().unwrap() <= 1);
+        // Degenerate inputs stay in range.
+        assert_eq!(balanced_placement(&[], 3), Vec::<u32>::new());
+        assert_eq!(balanced_placement(&[5, 5], 1), vec![0, 0]);
+        // All-zero costs pack by count (2-2-1 over 2 shards).
+        let p = balanced_placement(&[0, 0, 0, 0, 0], 2);
+        let ones = p.iter().filter(|&&s| s == 1).count();
+        assert!((2..=3).contains(&ones), "{p:?}");
+    }
+
+    #[test]
+    fn super_epochs_batch_windows_for_sendless_hosts() {
+        // Hosts that never send: with amortization the engine jumps each
+        // run_to in one window instead of thousands of L-sized epochs.
+        let run = |amortize: bool, shards: usize| {
+            let mut hosts: Vec<Toy> = (0..4).map(|i| Toy::new(i, 4)).collect();
+            for (i, h) in hosts.iter_mut().enumerate() {
+                h.can_send = false;
+                // A local-only event every 100 ns.
+                for k in 0..100u64 {
+                    h.schedule(100 * k + i as u64, 0);
+                }
+            }
+            let mut eng = ParallelEngine::new(hosts, shards, SimDuration::from_nanos(LAT));
+            eng.set_amortization(amortize);
+            eng.run_to(SimTime::from_nanos(60_000));
+            let logs: Vec<_> = eng.hosts().iter().map(|h| h.log.clone()).collect();
+            (logs, eng.epochs(), eng.super_epochs())
+        };
+        let (classic_logs, classic_epochs, classic_super) = run(false, 1);
+        assert_eq!(classic_super, 0);
+        assert!(classic_epochs > 15, "classic epochs: {classic_epochs}");
+        let (logs, epochs, supers) = run(true, 1);
+        assert_eq!(logs, classic_logs, "amortization changes no event");
+        assert_eq!(epochs, 1, "one super-epoch to the deadline");
+        assert_eq!(supers, 1);
+        // And the counts are shard-invariant.
+        let (logs4, epochs4, supers4) = run(true, 4);
+        assert_eq!(logs4, classic_logs);
+        assert_eq!((epochs4, supers4), (epochs, supers));
+    }
+
+    #[test]
+    fn super_epochs_respect_a_late_sender() {
+        // Three sendless hosts with dense local work plus one host whose
+        // first (and only) send-capable event sits far in the future:
+        // the engine must batch windows up to that event, then resume
+        // classic epochs — and the message must still arrive intact.
+        let run = |shards: usize| {
+            let mut hosts: Vec<Toy> = (0..4).map(|i| Toy::new(i, 4)).collect();
+            for h in hosts.iter_mut().take(3) {
+                h.can_send = false;
+                for k in 0..200u64 {
+                    h.schedule(50 * k, 0);
+                }
+            }
+            // Host 3 fires one 2-hop token at t = 7000... wait, hops
+            // traverse the ring 3 -> 0 -> 1, but hosts 0..2 are
+            // sendless; give the token 1 hop so only host 3 sends.
+            hosts[3].schedule(7_000, 1);
+            let mut eng = ParallelEngine::new(hosts, shards, SimDuration::from_nanos(LAT));
+            eng.run_to(SimTime::from_nanos(20_000));
+            let logs: Vec<_> = eng.hosts().iter().map(|h| h.log.clone()).collect();
+            (logs, eng.epochs(), eng.super_epochs())
+        };
+        let (logs, epochs, supers) = run(1);
+        assert!(supers >= 1, "late sender must still allow batching");
+        // The cross-host message arrived at host 0.
+        assert!(logs[0].contains(&(7_000 + LAT, 0)), "{:?}", logs[0]);
+        for shards in [2, 4] {
+            assert_eq!(run(shards), (logs.clone(), epochs, supers), "{shards}");
         }
     }
 
@@ -502,5 +938,38 @@ mod tests {
         let (reference, _) = ring_run(2, 1, 30_000);
         let (logs, _) = ring_run(2, 7, 30_000);
         assert_eq!(logs, reference);
+    }
+
+    #[test]
+    fn tree_barrier_synchronises_many_workers() {
+        // 13 workers (leaves 4+4+4+1 → 2 levels) each bump a counter
+        // between barrier rounds; after every round all bumps from the
+        // previous round must be visible to everyone.
+        let n = 13;
+        let barrier = TreeBarrier::new(n);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for me in 0..n {
+                let barrier = &barrier;
+                let counter = &counter;
+                scope.spawn(move || {
+                    for round in 0..50u64 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(me);
+                        assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * n as u64);
+                        barrier.wait(me);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50 * n as u64);
+    }
+
+    #[test]
+    fn tree_barrier_single_worker_never_blocks() {
+        let b = TreeBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
     }
 }
